@@ -1,0 +1,306 @@
+// Benchmarks regenerating every table and figure from the paper's
+// evaluation, plus ablations of the design choices called out in DESIGN.md.
+//
+// Table/figure benches exercise the same code paths as
+// `cmd/experiments -run <id>` at a bench-friendly scale; quality benches
+// attach the achieved fanout via b.ReportMetric so `go test -bench` output
+// doubles as a quality regression record.
+package shp_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"shp"
+	"shp/internal/experiments"
+)
+
+// benchCfg is the experiment harness configuration used by table/figure
+// benchmarks: quick lists at a small scale.
+func benchCfg() experiments.Config {
+	return experiments.Config{Quick: true, Scale: 0.04, Seed: 1, Workers: 4}
+}
+
+// graph cache so repeated benchmarks do not regenerate inputs.
+var (
+	graphMu    sync.Mutex
+	graphCache = map[string]*shp.Hypergraph{}
+)
+
+func benchGraph(b *testing.B, name string) *shp.Hypergraph {
+	b.Helper()
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[name]; ok {
+		return g
+	}
+	var g *shp.Hypergraph
+	var err error
+	switch name {
+	case "social-small":
+		g, err = shp.GenerateSocialEgoNets(8000, 12, 80, 0.85, 1)
+	case "social-medium":
+		g, err = shp.GenerateSocialEgoNets(30000, 14, 100, 0.85, 2)
+	case "powerlaw-small":
+		g, err = shp.GeneratePowerLawBipartite(10000, 16000, 90000, 2.1, 3)
+	case "powerlaw-medium":
+		g, err = shp.GeneratePowerLawBipartite(40000, 64000, 380000, 2.1, 4)
+	default:
+		b.Fatalf("unknown bench graph %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	g = shp.PruneTrivialQueries(g, 2)
+	graphCache[name] = g
+	return g
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s missing", id)
+	}
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- One benchmark per paper table/figure ----
+
+func BenchmarkTable1Datasets(b *testing.B)      { runExperimentBench(b, "table1") }
+func BenchmarkFig2LocalMinimum(b *testing.B)    { runExperimentBench(b, "fig2") }
+func BenchmarkFig4aLatencySim(b *testing.B)     { runExperimentBench(b, "fig4a") }
+func BenchmarkFig4bLatencyReplay(b *testing.B)  { runExperimentBench(b, "fig4b") }
+func BenchmarkTable2Quality(b *testing.B)       { runExperimentBench(b, "table2") }
+func BenchmarkTable3Scalability(b *testing.B)   { runExperimentBench(b, "table3") }
+func BenchmarkFig5aEdgeScaling(b *testing.B)    { runExperimentBench(b, "fig5a") }
+func BenchmarkFig5bMachineScaling(b *testing.B) { runExperimentBench(b, "fig5b") }
+func BenchmarkFig6PSweep(b *testing.B)          { runExperimentBench(b, "fig6") }
+func BenchmarkFig7Convergence(b *testing.B)     { runExperimentBench(b, "fig7") }
+func BenchmarkFig8Objectives(b *testing.B)      { runExperimentBench(b, "fig8") }
+
+// ---- Core partitioner benches (throughput on fixed workloads) ----
+
+func BenchmarkPartitionSHP2(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	b.ResetTimer()
+	var fanout float64
+	for i := 0; i < b.N; i++ {
+		res, err := shp.Partition(g, shp.Options{K: 16, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fanout = shp.Fanout(g, res.Assignment, 16)
+	}
+	b.ReportMetric(fanout, "fanout")
+	b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkPartitionSHPk(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	b.ResetTimer()
+	var fanout float64
+	for i := 0; i < b.N; i++ {
+		res, err := shp.Partition(g, shp.Options{K: 16, Direct: true, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fanout = shp.Fanout(g, res.Assignment, 16)
+	}
+	b.ReportMetric(fanout, "fanout")
+	b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkPartitionMultilevelBaseline(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	b.ResetTimer()
+	var fanout float64
+	for i := 0; i < b.N; i++ {
+		a, err := shp.PartitionMultilevel(g, shp.MultilevelConfig{K: 16, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fanout = shp.Fanout(g, a, 16)
+	}
+	b.ReportMetric(fanout, "fanout")
+}
+
+func BenchmarkPartitionDistributed(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	b.ResetTimer()
+	var remote float64
+	for i := 0; i < b.N; i++ {
+		res, err := shp.PartitionDistributed(g, shp.DistributedOptions{
+			K: 16, Seed: uint64(i) + 1, Workers: 4, ItersPerLevel: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		remote = float64(res.Stats.RemoteMessages)
+	}
+	b.ReportMetric(remote, "remote-msgs")
+}
+
+func BenchmarkMetricsFanout(b *testing.B) {
+	g := benchGraph(b, "powerlaw-medium")
+	a := shp.RandomAssignment(g.NumData(), 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shp.Fanout(g, a, 32)
+	}
+}
+
+// ---- Ablations of DESIGN.md's called-out design choices ----
+
+// BenchmarkAblationPairing compares the three swap protocols: quality
+// (fanout metric) and speed on the same workload.
+func BenchmarkAblationPairing(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	for _, mode := range []shp.PairingMode{shp.PairHistogram, shp.PairSimple, shp.PairExact} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var fanout float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.Partition(g, shp.Options{K: 16, Seed: 1, Pairing: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fanout = shp.Fanout(g, res.Assignment, 16)
+			}
+			b.ReportMetric(fanout, "fanout")
+		})
+	}
+}
+
+// BenchmarkAblationLookahead measures Section 3.4's final-p-fanout
+// approximation during recursive splits.
+func BenchmarkAblationLookahead(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	for _, disable := range []bool{false, true} {
+		name := "lookahead-on"
+		if disable {
+			name = "lookahead-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var fanout float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.Partition(g, shp.Options{K: 32, Seed: 1, DisableLookahead: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fanout = shp.Fanout(g, res.Assignment, 32)
+			}
+			b.ReportMetric(fanout, "fanout")
+		})
+	}
+}
+
+// BenchmarkAblationEpsilonScaling measures Section 3.4's ε schedule.
+func BenchmarkAblationEpsilonScaling(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	for _, disable := range []bool{false, true} {
+		name := "eps-scaled"
+		if disable {
+			name = "eps-flat"
+		}
+		b.Run(name, func(b *testing.B) {
+			var fanout float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.Partition(g, shp.Options{K: 32, Seed: 1, DisableEpsilonScaling: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fanout = shp.Fanout(g, res.Assignment, 32)
+			}
+			b.ReportMetric(fanout, "fanout")
+		})
+	}
+}
+
+// BenchmarkAblationDirtyOnly measures the neighbor-data caching
+// optimization in the distributed implementation (Section 3.3): messages
+// saved by only re-sending buckets after moves.
+func BenchmarkAblationDirtyOnly(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	for _, disable := range []bool{false, true} {
+		name := "dirty-only"
+		if disable {
+			name = "always-send"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.PartitionDistributed(g, shp.DistributedOptions{
+					K: 8, Seed: 1, Workers: 4, ItersPerLevel: 5, DisableDirtyOnly: disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = float64(res.Stats.TotalMessages)
+			}
+			b.ReportMetric(msgs, "messages")
+		})
+	}
+}
+
+// BenchmarkAblationObjective compares the three objectives' achieved fanout
+// (Figure 8 in miniature).
+func BenchmarkAblationObjective(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	for _, obj := range []shp.Objective{shp.ObjPFanout, shp.ObjFanout, shp.ObjCliqueNet} {
+		b.Run(obj.String(), func(b *testing.B) {
+			var fanout float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.Partition(g, shp.Options{K: 8, Seed: 1, Objective: obj})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fanout = shp.Fanout(g, res.Assignment, 8)
+			}
+			b.ReportMetric(fanout, "fanout")
+		})
+	}
+}
+
+// BenchmarkScalingWorkers measures parallel speedup of SHP-2 (the Figure 5b
+// story at bench scale).
+func BenchmarkScalingWorkers(b *testing.B) {
+	g := benchGraph(b, "powerlaw-medium")
+	for _, workers := range []int{1, 4, 8, 16} {
+		b.Run(map[int]string{1: "w1", 4: "w4", 8: "w8", 16: "w16"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shp.Partition(g, shp.Options{K: 32, Seed: 1, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingK measures run time vs bucket count: SHP-2 should be
+// logarithmic in k, SHP-k linear (the Table 3 contrast).
+func BenchmarkScalingK(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	for _, k := range []int{8, 64, 512} {
+		b.Run(map[int]string{8: "SHP2-k8", 64: "SHP2-k64", 512: "SHP2-k512"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shp.Partition(g, shp.Options{K: k, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, k := range []int{8, 64, 512} {
+		b.Run(map[int]string{8: "SHPk-k8", 64: "SHPk-k64", 512: "SHPk-k512"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shp.Partition(g, shp.Options{K: k, Direct: true, Seed: 1, MaxIters: 20}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

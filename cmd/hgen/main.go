@@ -1,0 +1,81 @@
+// Command hgen generates synthetic hypergraphs in the formats the shp tool
+// reads: power-law bipartite graphs (web/social shape), ego-net social
+// graphs (the storage-sharding workload), and planted-partition instances.
+//
+// Usage:
+//
+//	hgen -kind powerlaw -q 10000 -d 20000 -e 100000 -out g.hgr
+//	hgen -kind social -n 10000 -deg 20 -community 100 -out g.hgr
+//	hgen -kind planted -k 8 -pergroup 1000 -q 20000 -deg 6 -out g.hgr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind      = flag.String("kind", "powerlaw", "generator: powerlaw, social, or planted")
+		outPath   = flag.String("out", "", "output file (default stdout)")
+		format    = flag.String("format", "hmetis", "output format: hmetis or edgelist")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		q         = flag.Int("q", 10000, "powerlaw/planted: number of queries (hyperedges)")
+		d         = flag.Int("d", 20000, "powerlaw: number of data vertices")
+		e         = flag.Int64("e", 100000, "powerlaw: target incidence count")
+		exponent  = flag.Float64("exponent", 2.1, "powerlaw: degree exponent")
+		n         = flag.Int("n", 10000, "social: number of users")
+		deg       = flag.Int("deg", 20, "social: average friend count; planted: hyperedge size")
+		community = flag.Int("community", 100, "social: community size")
+		intra     = flag.Float64("intra", 0.85, "social: intra-community edge fraction")
+		k         = flag.Int("k", 8, "planted: number of groups")
+		perGroup  = flag.Int("pergroup", 1000, "planted: vertices per group")
+		purity    = flag.Float64("purity", 0.9, "planted: within-group query probability")
+	)
+	flag.Parse()
+
+	var g *shp.Hypergraph
+	var err error
+	switch *kind {
+	case "powerlaw":
+		g, err = shp.GeneratePowerLawBipartite(*q, *d, *e, *exponent, *seed)
+	case "social":
+		g, err = shp.GenerateSocialEgoNets(*n, *deg, *community, *intra, *seed)
+	case "planted":
+		g, err = shp.GeneratePlantedPartition(*k, *perGroup, *q, *deg, *purity, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: |Q|=%d |D|=%d |E|=%d\n", *kind, g.NumQueries(), g.NumData(), g.NumEdges())
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "hmetis":
+		return shp.WriteHMetis(out, g)
+	case "edgelist":
+		return shp.WriteEdgeList(out, g)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: build the paper's Figure 1 hypergraph, partition it into two
+// buckets, and inspect the objectives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shp"
+)
+
+func main() {
+	// Figure 1: three queries over six data records. Query {0,1,5} needs
+	// records 0, 1, 5; and so on. Partitioning the records across two
+	// servers determines every query's fanout.
+	g, err := shp.FromHyperedges(6, [][]int32{
+		{0, 1, 5},
+		{0, 1, 2, 3},
+		{3, 4, 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hypergraph: %d queries, %d data vertices, %d incidences\n",
+		g.NumQueries(), g.NumData(), g.NumEdges())
+
+	res, err := shp.Partition(g, shp.Options{K: 2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assignment: %v\n", res.Assignment)
+
+	m := shp.Measure(g, res.Assignment, 2, 0.5)
+	fmt.Printf("average fanout:   %.4f (paper's hand partition: 1.6667)\n", m.Fanout)
+	fmt.Printf("p-fanout (p=0.5): %.4f\n", m.PFanout)
+	fmt.Printf("imbalance:        %.4f\n", m.Imbalance)
+
+	// Compare with a random sharding.
+	random := shp.RandomAssignment(g.NumData(), 2, 7)
+	fmt.Printf("random sharding fanout: %.4f\n", shp.Fanout(g, random, 2))
+}

@@ -1,0 +1,209 @@
+package shp_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"shp"
+)
+
+// Integration tests exercising multi-module flows through the public API:
+// generate -> serialize -> parse -> partition -> measure -> shard -> replay,
+// and cross-implementation agreement between the three partitioning paths.
+
+func TestEndToEndPipelineHMetis(t *testing.T) {
+	// Generate a social workload, write it to the hMetis format, read it
+	// back, partition, persist the assignment, reload, and verify metrics.
+	g, err := shp.GenerateSocialEgoNets(3000, 10, 60, 0.85, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	if err := shp.WriteHMetis(&file, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := shp.ReadHMetis(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded = shp.PruneTrivialQueries(loaded, 2)
+
+	const k = 16
+	res, err := shp.Partition(loaded, shp.Options{K: k, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asgFile bytes.Buffer
+	if err := shp.WriteAssignment(&asgFile, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := shp.ReadAssignment(&asgFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := shp.Fanout(loaded, res.Assignment, k)
+	f2 := shp.Fanout(loaded, shp.Assignment(reloaded), k)
+	if f1 != f2 {
+		t.Fatalf("assignment persistence changed fanout: %v vs %v", f1, f2)
+	}
+	if imb := shp.Imbalance(res.Assignment, k); imb > 0.12 {
+		t.Fatalf("pipeline imbalance %v", imb)
+	}
+
+	// Shard onto k servers and verify the latency win over random.
+	cluster, err := shp.NewCluster(k, res.Assignment, shp.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomCluster, err := shp.NewCluster(k, shp.RandomAssignment(loaded.NumData(), k, 3), shp.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cluster.ReplayQueries(loaded, 4, 1)
+	mr := randomCluster.ReplayQueries(loaded, 4, 1)
+	if ms.AvgFanout >= mr.AvgFanout {
+		t.Fatalf("sharded fanout %v not below random %v", ms.AvgFanout, mr.AvgFanout)
+	}
+	if ms.AvgLat >= mr.AvgLat {
+		t.Fatalf("sharded latency %v not below random %v", ms.AvgLat, mr.AvgLat)
+	}
+}
+
+// TestThreePartitionersAgreeOnStructure runs SHP-2, SHP-k, the distributed
+// implementation, and the multilevel baseline on a planted-community graph:
+// all four must find structure far below random fanout.
+func TestThreePartitionersAgreeOnStructure(t *testing.T) {
+	g, err := shp.GeneratePlantedPartition(8, 80, 1500, 6, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	random := shp.Fanout(g, shp.RandomAssignment(g.NumData(), k, 6), k)
+	// 0.7: every implementation must clearly exploit the planted structure
+	// (they differ in quality — the paper's Table 2 shows the same spread).
+	threshold := random * 0.7
+
+	check := func(name string, a shp.Assignment) {
+		t.Helper()
+		if err := a.Validate(k); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f := shp.Fanout(g, a, k); f > threshold {
+			t.Fatalf("%s fanout %v above threshold %v (random %v)", name, f, threshold, random)
+		}
+	}
+	r1, err := shp.Partition(g, shp.Options{K: k, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("SHP-2", r1.Assignment)
+	r2, err := shp.Partition(g, shp.Options{K: k, Direct: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("SHP-k", r2.Assignment)
+	r3, err := shp.PartitionDistributed(g, shp.DistributedOptions{K: k, Seed: 7, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("distributed", r3.Assignment)
+	a4, err := shp.PartitionMultilevel(g, shp.MultilevelConfig{K: k, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("multilevel", a4)
+}
+
+// TestIncrementalPipeline checks the Section 5 incremental-update flow:
+// warm starts move almost nothing, fresh runs move almost everything.
+func TestIncrementalPipeline(t *testing.T) {
+	g, err := shp.GenerateSocialEgoNets(4000, 10, 80, 0.85, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	base, err := shp.Partition(g, shp.Options{K: k, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := func(a, b shp.Assignment) float64 {
+		moved := 0
+		for i := range a {
+			if a[i] != b[i] {
+				moved++
+			}
+		}
+		return float64(moved) / float64(len(a))
+	}
+	warm, err := shp.Partition(g, shp.Options{K: k, Seed: 10, Initial: base.Assignment, MoveCostPenalty: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := shp.Partition(g, shp.Options{K: k, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmChurn := churn(base.Assignment, warm.Assignment)
+	freshChurn := churn(base.Assignment, fresh.Assignment)
+	if warmChurn > 0.10 {
+		t.Fatalf("warm-start churn %.1f%% too high", warmChurn*100)
+	}
+	if freshChurn < 0.5 {
+		t.Fatalf("fresh churn %.1f%% suspiciously low; warm-start comparison meaningless", freshChurn*100)
+	}
+}
+
+// TestWeightedQueriesEndToEnd loads an edge-weighted hMetis file through the
+// facade and verifies weighted optimization.
+func TestWeightedQueriesEndToEnd(t *testing.T) {
+	g, err := shp.GeneratePowerLawBipartite(400, 600, 3000, 2.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach weights by round-tripping through a weighted builder.
+	weights := make([]int32, g.NumQueries())
+	for q := range weights {
+		weights[q] = int32(1 + q%7)
+	}
+	b := shp.NewBuilder(g.NumQueries(), g.NumData())
+	for q := 0; q < g.NumQueries(); q++ {
+		b.AddHyperedge(int32(q), g.QueryNeighbors(int32(q))...)
+	}
+	wg, err := b.SetQueryWeights(weights).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shp.Partition(wg, shp.Options{K: 8, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := shp.Fanout(wg, res.Assignment, 8)
+	random := shp.Fanout(wg, shp.RandomAssignment(wg.NumData(), 8, 13), 8)
+	if f >= random {
+		t.Fatalf("weighted fanout %v >= random %v", f, random)
+	}
+}
+
+// TestMetricsIdentities cross-checks metric identities through the facade.
+func TestMetricsIdentities(t *testing.T) {
+	g, err := shp.GeneratePowerLawBipartite(300, 400, 2500, 2.1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	a := shp.RandomAssignment(g.NumData(), k, 15)
+	m := shp.Measure(g, a, k, 0.5)
+	// p-fanout <= fanout always; both >= 1 for graphs without empty queries.
+	if m.PFanout > m.Fanout+1e-9 {
+		t.Fatalf("p-fanout %v exceeds fanout %v", m.PFanout, m.Fanout)
+	}
+	// p -> 1 limit (Lemma 1).
+	if lim := shp.PFanout(g, a, 1-1e-12); math.Abs(lim-m.Fanout) > 1e-6 {
+		t.Fatalf("p->1 p-fanout %v != fanout %v", lim, m.Fanout)
+	}
+	// SOED >= communication volume identity holds through the facade.
+	if m.SOED < (m.Fanout-1)*float64(g.NumQueries()) {
+		t.Fatalf("SOED %v below communication volume", m.SOED)
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"sort"
+
+	"shp/internal/hypergraph"
+	"shp/internal/par"
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+// directState is the SHP-k refiner: direct k-way local search with sparse
+// per-query neighbor data, exactly the structure of the paper's distributed
+// implementation (Figure 3) evaluated in-process:
+//
+//	superstep 1+2: buildNeighborData (n_i(q) for buckets with n_i > 0)
+//	superstep 2:   computeProposals  (Equation 1 gains, best target)
+//	superstep 3+4: applyMoves        (master pairing + probabilistic moves)
+//
+// It also serves recursive r-way splitting for r > 2, where each of the r
+// buckets carries its own lookahead split count.
+type directState struct {
+	g    *hypergraph.Bipartite
+	opts Options
+	seed uint64
+	k    int
+
+	workers  int
+	maxIters int
+
+	bucket  []int32
+	bucketW []int64
+	targetW []float64
+	capW    []float64
+
+	// tables[c] is the gain table of bucket c (lookahead varies per bucket
+	// during recursive r-way splits; uniform t=1 in plain direct mode).
+	tables []GainTables
+
+	// Sparse neighbor data, CSR over queries: for query q the buckets with
+	// n_i(q) > 0 and their counts live at [ndOff[q], ndOff[q+1]).
+	ndOff    []int64
+	ndBucket []int32
+	ndCount  []int32
+
+	target []int32
+	gains  []float64
+
+	history []IterStats
+}
+
+// newDirectState prepares the refiner. spans gives each bucket's final
+// split count for lookahead (nil = all ones = no lookahead).
+// idealPerBucket is the global ideal weight of one final bucket; <= 0
+// derives it from the subproblem (correct for plain direct mode).
+func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []int, idealPerBucket float64) *directState {
+	k := opts.K
+	st := &directState{
+		g: g, opts: opts, seed: seed, k: k,
+		workers:  par.Workers(opts.Parallelism),
+		maxIters: opts.MaxIters,
+	}
+	if spans == nil {
+		spans = make([]int, k)
+		for i := range spans {
+			spans[i] = 1
+		}
+	}
+	maxN := g.MaxQueryDegree()
+	byT := map[int]GainTables{}
+	st.tables = make([]GainTables, k)
+	for c := 0; c < k; c++ {
+		tb, ok := byT[spans[c]]
+		if !ok {
+			tb = tablesFor(opts, spans[c], maxN)
+			byT[spans[c]] = tb
+		}
+		st.tables[c] = tb
+	}
+
+	spanSum := 0
+	for _, s := range spans {
+		spanSum += s
+	}
+	total := float64(g.TotalDataWeight())
+	if idealPerBucket <= 0 {
+		idealPerBucket = total / float64(spanSum)
+	}
+	st.targetW = make([]float64, k)
+	st.capW = make([]float64, k)
+	for c := 0; c < k; c++ {
+		st.targetW[c] = total * float64(spans[c]) / float64(spanSum)
+		st.capW[c] = idealPerBucket * float64(spans[c]) * (1 + opts.Epsilon)
+	}
+
+	nd := g.NumData()
+	st.bucket = make([]int32, nd)
+	st.target = make([]int32, nd)
+	st.gains = make([]float64, nd)
+	st.bucketW = make([]int64, k)
+	st.ndOff = make([]int64, g.NumQueries()+1)
+
+	if opts.Initial != nil {
+		copy(st.bucket, opts.Initial)
+		st.recountWeights()
+		st.repairBalance()
+	} else {
+		st.randomInit()
+	}
+	return st
+}
+
+// randomInit cuts a random permutation at the per-bucket weight targets,
+// giving near-perfect initial balance for any span distribution.
+func (st *directState) randomInit() {
+	order := rng.NewStream(st.seed, 0xD1CE).Perm(st.g.NumData())
+	c := 0
+	var acc float64
+	for _, v := range order {
+		wv := float64(st.g.DataWeight(int32(v)))
+		for c < st.k-1 && acc+wv/2 >= st.targetW[c] {
+			c++
+			acc = 0
+		}
+		st.bucket[v] = int32(c)
+		acc += wv
+	}
+	st.recountWeights()
+}
+
+func (st *directState) recountWeights() {
+	for c := range st.bucketW {
+		st.bucketW[c] = 0
+	}
+	for v := 0; v < st.g.NumData(); v++ {
+		st.bucketW[st.bucket[v]] += int64(st.g.DataWeight(int32(v)))
+	}
+}
+
+// repairBalance moves vertices (deterministic random order) out of over-cap
+// buckets into the lightest under-target buckets. Needed for warm starts.
+func (st *directState) repairBalance() {
+	lightest := func() int32 {
+		best, bestSlack := int32(0), -1.0
+		for c := 0; c < st.k; c++ {
+			if slack := st.targetW[c] - float64(st.bucketW[c]); slack > bestSlack {
+				bestSlack = slack
+				best = int32(c)
+			}
+		}
+		return best
+	}
+	order := rng.NewStream(st.seed, 0xBA1A).Perm(st.g.NumData())
+	for _, v := range order {
+		c := st.bucket[v]
+		if float64(st.bucketW[c]) <= st.capW[c] {
+			continue
+		}
+		dst := lightest()
+		if dst == c {
+			continue
+		}
+		wv := int64(st.g.DataWeight(int32(v)))
+		st.bucket[v] = dst
+		st.bucketW[c] -= wv
+		st.bucketW[dst] += wv
+	}
+}
+
+// buildNeighborData recomputes the sparse per-query bucket counts
+// (supersteps 1–2 of Figure 3). Two passes: count distinct buckets per
+// query, prefix-sum, then fill.
+func (st *directState) buildNeighborData() {
+	nq := st.g.NumQueries()
+	scratch := make([][]int32, st.workers)
+	touched := make([][]int32, st.workers)
+	for w := range scratch {
+		scratch[w] = make([]int32, st.k)
+		touched[w] = make([]int32, 0, 64)
+	}
+	par.ForWorker(nq, st.workers, func(w, start, end int) {
+		cnt := scratch[w]
+		for q := start; q < end; q++ {
+			tl := touched[w][:0]
+			for _, d := range st.g.QueryNeighbors(int32(q)) {
+				b := st.bucket[d]
+				if cnt[b] == 0 {
+					tl = append(tl, b)
+				}
+				cnt[b]++
+			}
+			st.ndOff[q+1] = int64(len(tl))
+			for _, b := range tl {
+				cnt[b] = 0
+			}
+			touched[w] = tl[:0]
+		}
+	})
+	st.ndOff[0] = 0
+	for q := 0; q < nq; q++ {
+		st.ndOff[q+1] += st.ndOff[q]
+	}
+	totalEntries := st.ndOff[nq]
+	if int64(cap(st.ndBucket)) < totalEntries {
+		st.ndBucket = make([]int32, totalEntries)
+		st.ndCount = make([]int32, totalEntries)
+	} else {
+		st.ndBucket = st.ndBucket[:totalEntries]
+		st.ndCount = st.ndCount[:totalEntries]
+	}
+	par.ForWorker(nq, st.workers, func(w, start, end int) {
+		cnt := scratch[w]
+		for q := start; q < end; q++ {
+			tl := touched[w][:0]
+			for _, d := range st.g.QueryNeighbors(int32(q)) {
+				b := st.bucket[d]
+				if cnt[b] == 0 {
+					tl = append(tl, b)
+				}
+				cnt[b]++
+			}
+			pos := st.ndOff[q]
+			for _, b := range tl {
+				st.ndBucket[pos] = b
+				st.ndCount[pos] = cnt[b]
+				cnt[b] = 0
+				pos++
+			}
+			touched[w] = tl[:0]
+		}
+	})
+}
+
+// objectiveFromND sums the objective over the current neighbor data.
+func (st *directState) objectiveFromND() float64 {
+	nq := st.g.NumQueries()
+	return par.SumFloat64(nq, st.workers, func(start, end int) float64 {
+		sum := 0.0
+		for q := start; q < end; q++ {
+			wq := float64(st.g.QueryWeight(int32(q)))
+			for e := st.ndOff[q]; e < st.ndOff[q+1]; e++ {
+				sum += wq * st.tables[st.ndBucket[e]].C[st.ndCount[e]]
+			}
+		}
+		return sum
+	})
+}
+
+// fanoutFromND returns the average fanout implied by the neighbor data.
+func (st *directState) fanoutFromND() float64 {
+	nq := st.g.NumQueries()
+	if nq == 0 {
+		return 0
+	}
+	return float64(st.ndOff[nq]) / float64(nq)
+}
+
+// computeProposals evaluates Equation 1 for every data vertex against all
+// buckets its queries touch, and records the best admissible target.
+func (st *directState) computeProposals() {
+	nd := st.g.NumData()
+	type ws struct {
+		acc  []float64
+		gen  []int32
+		tl   []int32
+		genC int32
+	}
+	scratch := make([]*ws, st.workers)
+	for w := range scratch {
+		scratch[w] = &ws{acc: make([]float64, st.k), gen: make([]int32, st.k), tl: make([]int32, 0, 64)}
+	}
+	penalty := st.opts.MoveCostPenalty
+	par.ForWorker(nd, st.workers, func(w, start, end int) {
+		s := scratch[w]
+		for v := start; v < end; v++ {
+			cur := st.bucket[v]
+			tCur := st.tables[cur]
+			s.genC++
+			s.tl = s.tl[:0]
+			base := 0.0
+			wdeg := 0.0 // query-weighted degree of v
+			for _, q := range st.g.DataNeighbors(int32(v)) {
+				wq := float64(st.g.QueryWeight(q))
+				wdeg += wq
+				for e := st.ndOff[q]; e < st.ndOff[q+1]; e++ {
+					b := st.ndBucket[e]
+					c := st.ndCount[e]
+					if b == cur {
+						base += wq * tCur.T[c-1]
+						continue
+					}
+					if s.gen[b] != s.genC {
+						s.gen[b] = s.genC
+						s.acc[b] = 0
+						s.tl = append(s.tl, b)
+					}
+					s.acc[b] += wq * (st.tables[b].T[c] - st.tables[b].T[0])
+				}
+			}
+			best := int32(-1)
+			bestGain := 0.0
+			wv := float64(st.g.DataWeight(int32(v)))
+			for _, b := range s.tl {
+				if float64(st.bucketW[b])+wv > st.capW[b] {
+					continue // target bucket is full
+				}
+				gain := tCur.mult * (base - wdeg*st.tables[b].T[0] - s.acc[b])
+				if penalty > 0 && st.opts.Initial != nil {
+					if cur == st.opts.Initial[v] {
+						gain -= penalty
+					} else if b == st.opts.Initial[v] {
+						gain += penalty
+					}
+				}
+				if best < 0 || gain > bestGain {
+					best = b
+					bestGain = gain
+				}
+			}
+			st.target[v] = best
+			st.gains[v] = bestGain
+		}
+	})
+}
+
+// pairKey packs an ordered (from, to) bucket pair.
+func pairKey(from, to int32) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// applyMoves aggregates proposals into per-direction gain histograms (the
+// master's O(k²)-bounded state, kept sparse here), computes move
+// probabilities, and executes the probabilistic moves.
+func (st *directState) applyMoves(iter int) int64 {
+	nd := st.g.NumData()
+	partials := make([]map[uint64]*DirHist, st.workers)
+	par.ForWorker(nd, st.workers, func(w, start, end int) {
+		m := make(map[uint64]*DirHist)
+		for v := start; v < end; v++ {
+			tgt := st.target[v]
+			if tgt < 0 {
+				continue
+			}
+			key := pairKey(st.bucket[v], tgt)
+			h := m[key]
+			if h == nil {
+				h = &DirHist{}
+				m[key] = h
+			}
+			h.Add(st.gains[v])
+		}
+		partials[w] = m
+	})
+	hists := make(map[uint64]*DirHist)
+	for _, m := range partials {
+		for key, h := range m {
+			if g, ok := hists[key]; ok {
+				g.Merge(h)
+			} else {
+				hists[key] = h
+			}
+		}
+	}
+
+	var empty DirHist
+	probs := make(map[uint64]*ProbTable, len(hists))
+	for key, h := range hists {
+		if _, done := probs[key]; done {
+			continue
+		}
+		from := int32(key >> 32)
+		to := int32(uint32(key))
+		rkey := pairKey(to, from)
+		rh := hists[rkey]
+		if rh == nil {
+			rh = &empty
+		}
+		var pa, pb ProbTable
+		if st.opts.Pairing == PairSimple {
+			pa, pb = MatchSimple(h, rh, 0, 0)
+		} else {
+			pa, pb = MatchHistograms(h, rh, 0, 0)
+		}
+		probs[key] = &pa
+		if rh != &empty {
+			probs[rkey] = &pb
+		}
+	}
+
+	// Phase 1 (parallel): per-vertex coin decisions.
+	decided := make([]bool, nd)
+	iterKey := rng.Mix(uint64(iter)+1, 0xD0D)
+	par.For(nd, st.workers, func(start, end int) {
+		for v := start; v < end; v++ {
+			tgt := st.target[v]
+			if tgt < 0 {
+				continue
+			}
+			pt := probs[pairKey(st.bucket[v], tgt)]
+			if pt == nil {
+				continue
+			}
+			p := pt.ProbFor(st.gains[v])
+			if p <= 0 {
+				continue
+			}
+			if p >= 1 || rng.CoinAt(st.seed, rng.Mix(iterKey, uint64(v))) < p {
+				decided[v] = true
+			}
+		}
+	})
+	// Phase 2 (serial, deterministic): apply all decided moves (so opposing
+	// flows cancel), then undo the lowest-gain arrivals of over-cap buckets
+	// until every cap holds again. Undone vertices return to their origin,
+	// which held them at iteration start, so the undo loop terminates with
+	// all caps satisfied.
+	type move struct {
+		v    int32
+		from int32
+	}
+	var applied []move
+	for v := 0; v < nd; v++ {
+		if !decided[v] {
+			continue
+		}
+		cur := st.bucket[v]
+		tgt := st.target[v]
+		wv := int64(st.g.DataWeight(int32(v)))
+		st.bucket[v] = tgt
+		st.bucketW[cur] -= wv
+		st.bucketW[tgt] += wv
+		applied = append(applied, move{int32(v), cur})
+	}
+	live := int64(len(applied))
+	for {
+		over := int32(-1)
+		for c := 0; c < st.k; c++ {
+			if float64(st.bucketW[c]) > st.capW[c] {
+				over = int32(c)
+				break
+			}
+		}
+		if over < 0 {
+			break
+		}
+		var arrivals []move
+		for _, m := range applied {
+			if decided[m.v] && st.bucket[m.v] == over {
+				arrivals = append(arrivals, m)
+			}
+		}
+		if len(arrivals) == 0 {
+			break // pre-existing violation (warm start); nothing to undo
+		}
+		sort.Slice(arrivals, func(i, j int) bool {
+			gi, gj := st.gains[arrivals[i].v], st.gains[arrivals[j].v]
+			if gi != gj {
+				return gi < gj
+			}
+			return arrivals[i].v < arrivals[j].v
+		})
+		for _, m := range arrivals {
+			if float64(st.bucketW[over]) <= st.capW[over] {
+				break
+			}
+			wv := int64(st.g.DataWeight(m.v))
+			st.bucket[m.v] = m.from
+			st.bucketW[over] -= wv
+			st.bucketW[m.from] += wv
+			decided[m.v] = false
+			live--
+		}
+	}
+	return live
+}
+
+// run iterates refinement to convergence. Neighbor data built at the start
+// of each round also provides the previous round's objective, so metrics
+// cost no extra passes.
+func (st *directState) run() {
+	n := st.g.NumData()
+	if n == 0 || st.k <= 1 {
+		return
+	}
+	for iter := 0; ; iter++ {
+		st.buildNeighborData()
+		if iter > 0 {
+			last := &st.history[len(st.history)-1]
+			last.Objective = st.objectiveFromND()
+			if st.opts.TrackFanout {
+				last.Fanout = st.fanoutFromND()
+			}
+			if last.Moved == 0 || last.MovedFraction < st.opts.MinMoveFraction {
+				break
+			}
+		}
+		if iter >= st.maxIters {
+			break
+		}
+		st.computeProposals()
+		moved := st.applyMoves(iter)
+		st.history = append(st.history, IterStats{
+			Iter: iter, Moved: moved, MovedFraction: float64(moved) / float64(n),
+		})
+	}
+}
+
+// partitionDirect runs SHP-k on the whole graph.
+func partitionDirect(g *hypergraph.Bipartite, opts Options) (*Result, error) {
+	st := newDirectState(g, opts, rng.Mix(opts.Seed, 0xD12EC7), nil, 0)
+	st.run()
+	assignment := make(partition.Assignment, g.NumData())
+	copy(assignment, st.bucket)
+	return &Result{
+		Assignment: assignment,
+		K:          opts.K,
+		Iterations: len(st.history),
+		History:    st.history,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+// Move-gain machinery (Equation 1 of the paper).
+//
+// For probabilistic fanout, the gain of moving data vertex v from bucket cur
+// to bucket tgt is (written as an improvement, positive = objective falls):
+//
+//	gain(v) = p · Σ_{q ∈ N(v)} ((1-p)^{n_cur(q)-1} − (1-p)^{n_tgt(q)})
+//
+// All refiners evaluate this through a precomputed table T[i] = (1-p')^i, so
+// one table swap re-targets the same code at different objectives:
+//
+//   - p-fanout: T[i] = (1-p)^i, multiplier p.
+//   - p-fanout with recursive lookahead (Section 3.4): a bucket that will
+//     later split into t buckets contributes t·(1−(1−p/t)^r); the gain keeps
+//     the same shape with p' = p/t because t·p' = p. So T[i] = (1-p/t)^i
+//     with multiplier p.
+//   - clique-net (Lemma 2's p → 0 limit): the within-bucket pair weight
+//     changes by n_tgt − (n_cur − 1), which is the same expression with
+//     T[i] = −i and multiplier 1.
+//
+// The matching objective value of a bucket holding c of q's vertices comes
+// from a contribution table C[c] (t·(1−(1−p/t)^c) or −C(c,2) respectively);
+// refiners report Σ_q Σ_buckets C[n_bucket(q)].
+
+// GainTables bundles the per-objective lookup tables for one side/bucket
+// role. maxN is the largest neighbor count that will be looked up
+// (the maximum query degree of the subproblem).
+type GainTables struct {
+	// T[i] is the gain table value for a bucket currently holding i of a
+	// query's data vertices.
+	T []float64
+	// C[i] is the objective contribution of a bucket holding i of a query's
+	// data vertices.
+	C []float64
+	// mult scales the summed T differences into objective units.
+	mult float64
+}
+
+// NewPFanoutTables builds tables for probabilistic fanout with fanout
+// probability p and lookahead split count t (t = 1 disables lookahead).
+func NewPFanoutTables(p float64, t int, maxN int) GainTables {
+	if t < 1 {
+		t = 1
+	}
+	pp := p / float64(t)
+	T := make([]float64, maxN+2)
+	C := make([]float64, maxN+2)
+	T[0] = 1
+	base := 1 - pp
+	for i := 1; i < len(T); i++ {
+		T[i] = T[i-1] * base
+	}
+	tf := float64(t)
+	for i := range C {
+		C[i] = tf * (1 - T[i])
+	}
+	return GainTables{T: T, C: C, mult: p}
+}
+
+// NewCliqueNetTables builds tables for the clique-net edge-cut objective.
+// The reported "objective" is the negated within-bucket pair weight, so that
+// smaller is better, consistent with the other objectives.
+func NewCliqueNetTables(maxN int) GainTables {
+	T := make([]float64, maxN+2)
+	C := make([]float64, maxN+2)
+	for i := range T {
+		T[i] = -float64(i)
+		C[i] = -float64(i) * float64(i-1) / 2
+	}
+	return GainTables{T: T, C: C, mult: 1}
+}
+
+// tablesFor builds the tables for the configured objective.
+func tablesFor(opts Options, t int, maxN int) GainTables {
+	switch opts.Objective {
+	case ObjCliqueNet:
+		return NewCliqueNetTables(maxN)
+	case ObjFanout:
+		return NewPFanoutTables(1, 1, maxN)
+	default:
+		lookT := t
+		if opts.DisableLookahead {
+			lookT = 1
+		}
+		return NewPFanoutTables(opts.P, lookT, maxN)
+	}
+}
+
+// Mult returns the gain multiplier (p for probabilistic fanout, 1 for the
+// clique-net objective). Exposed for the distributed implementation.
+func (g GainTables) Mult() float64 { return g.mult }

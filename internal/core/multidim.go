@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"shp/internal/hypergraph"
+	"shp/internal/partition"
+)
+
+// Multi-dimensional balance (Section 5, Discussion item ii).
+//
+// Data vertices can carry several load dimensions (CPU, memory, disk, ...).
+// Requiring strict balance on every dimension during refinement harms
+// quality, so the paper's heuristic decouples the two concerns: partition
+// into c·k buckets with loose balance on the primary dimension only, then
+// merge groups of buckets into the final k, balancing all dimensions during
+// the merge.
+
+// MultiDimOptions configures PartitionMultiDim.
+type MultiDimOptions struct {
+	// K is the final bucket count.
+	K int
+	// C is the over-partitioning factor: refinement produces C*K buckets
+	// before merging (default 4; the paper's "c·k buckets for some c > 1").
+	C int
+	// Loads holds one slice per dimension, each of length NumData: the
+	// per-vertex load in that dimension. At least one dimension required.
+	Loads [][]float64
+	// Epsilon is the allowed imbalance per dimension after merging
+	// (default 0.10; merging k groups from c·k buckets cannot be as tight
+	// as single-dimension refinement).
+	Epsilon float64
+	// Base configures the underlying fanout optimization (K and Epsilon
+	// inside it are overridden).
+	Base Options
+}
+
+// MultiDimResult reports the merged partition and per-dimension loads.
+type MultiDimResult struct {
+	Assignment partition.Assignment
+	K          int
+	// BucketLoads[d][b] is the load of bucket b in dimension d.
+	BucketLoads [][]float64
+	// Imbalance[d] is max bucket load over ideal minus 1, per dimension.
+	Imbalance []float64
+	// FineResult is the intermediate c·k-bucket partitioning.
+	FineResult *Result
+}
+
+// PartitionMultiDim partitions g into K buckets balanced across every load
+// dimension, while minimizing fanout via the usual SHP refinement.
+func PartitionMultiDim(g *hypergraph.Bipartite, opts MultiDimOptions) (*MultiDimResult, error) {
+	if opts.K < 1 {
+		return nil, errors.New("core: multidim K must be >= 1")
+	}
+	if opts.C == 0 {
+		opts.C = 4
+	}
+	if opts.C < 1 {
+		return nil, errors.New("core: multidim C must be >= 1")
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.10
+	}
+	if len(opts.Loads) == 0 {
+		return nil, errors.New("core: multidim needs at least one load dimension")
+	}
+	for d, loads := range opts.Loads {
+		if len(loads) != g.NumData() {
+			return nil, fmt.Errorf("core: dimension %d has %d loads for %d vertices", d, len(loads), g.NumData())
+		}
+		for v, l := range loads {
+			if l < 0 {
+				return nil, fmt.Errorf("core: negative load at dimension %d vertex %d", d, v)
+			}
+		}
+	}
+
+	// Step 1: fanout-optimize into C*K buckets with loose balance on the
+	// vertex count only.
+	base := opts.Base
+	base.K = opts.C * opts.K
+	if base.Epsilon == 0 {
+		base.Epsilon = 0.10
+	}
+	fine, err := Partition(g, base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: merge C*K fine buckets into K groups, balancing all
+	// dimensions: sort fine buckets by total normalized load descending and
+	// greedily place each into the group whose maximum per-dimension
+	// relative load after placement is smallest (LPT generalized to vectors).
+	nDims := len(opts.Loads)
+	fineK := base.K
+	fineLoads := make([][]float64, nDims)
+	totals := make([]float64, nDims)
+	for d := 0; d < nDims; d++ {
+		fineLoads[d] = make([]float64, fineK)
+		for v, b := range fine.Assignment {
+			fineLoads[d][b] += opts.Loads[d][v]
+			totals[d] += opts.Loads[d][v]
+		}
+	}
+	ideal := make([]float64, nDims)
+	for d := 0; d < nDims; d++ {
+		ideal[d] = totals[d] / float64(opts.K)
+		if ideal[d] == 0 {
+			ideal[d] = 1 // dimension with no load: never constrains
+		}
+	}
+	order := make([]int, fineK)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		var li, lj float64
+		for d := 0; d < nDims; d++ {
+			li += fineLoads[d][order[i]] / ideal[d]
+			lj += fineLoads[d][order[j]] / ideal[d]
+		}
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+	groupLoads := make([][]float64, nDims)
+	for d := range groupLoads {
+		groupLoads[d] = make([]float64, opts.K)
+	}
+	fineToGroup := make([]int32, fineK)
+	for _, fb := range order {
+		bestGroup := 0
+		bestScore := 0.0
+		for grp := 0; grp < opts.K; grp++ {
+			score := 0.0
+			for d := 0; d < nDims; d++ {
+				rel := (groupLoads[d][grp] + fineLoads[d][fb]) / ideal[d]
+				if rel > score {
+					score = rel
+				}
+			}
+			if grp == 0 || score < bestScore {
+				bestScore = score
+				bestGroup = grp
+			}
+		}
+		fineToGroup[fb] = int32(bestGroup)
+		for d := 0; d < nDims; d++ {
+			groupLoads[d][bestGroup] += fineLoads[d][fb]
+		}
+	}
+
+	assignment := make(partition.Assignment, g.NumData())
+	for v, b := range fine.Assignment {
+		assignment[v] = fineToGroup[b]
+	}
+	res := &MultiDimResult{
+		Assignment:  assignment,
+		K:           opts.K,
+		BucketLoads: groupLoads,
+		Imbalance:   make([]float64, nDims),
+		FineResult:  fine,
+	}
+	for d := 0; d < nDims; d++ {
+		maxLoad := 0.0
+		for _, l := range groupLoads[d] {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		res.Imbalance[d] = maxLoad/ideal[d] - 1
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+func TestMultiDimBalancesAllDimensions(t *testing.T) {
+	g := randomBipartite(t, 3, 400, 600, 4000)
+	r := rng.New(5)
+	// Two anti-correlated dimensions: hard for single-dimension balance.
+	cpu := make([]float64, 600)
+	mem := make([]float64, 600)
+	for v := range cpu {
+		cpu[v] = 1 + 4*r.Float64()
+		mem[v] = 6 - cpu[v] + r.Float64()
+	}
+	res, err := PartitionMultiDim(g, MultiDimOptions{
+		K:     4,
+		C:     4,
+		Loads: [][]float64{cpu, mem},
+		Base:  Options{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for d, imb := range res.Imbalance {
+		if imb > 0.15 {
+			t.Fatalf("dimension %d imbalance %v too high", d, imb)
+		}
+	}
+	// Fanout should still beat random: the merge must not destroy locality.
+	f := partition.Fanout(g, res.Assignment, 4)
+	randomF := partition.Fanout(g, partition.Random(600, 4, 11), 4)
+	if f >= randomF {
+		t.Fatalf("multidim fanout %v >= random %v", f, randomF)
+	}
+}
+
+func TestMultiDimSingleDimensionMatchesWeighted(t *testing.T) {
+	g := randomBipartite(t, 7, 200, 300, 1500)
+	loads := make([]float64, 300)
+	for v := range loads {
+		loads[v] = 1
+	}
+	res, err := PartitionMultiDim(g, MultiDimOptions{K: 2, Loads: [][]float64{loads}, Base: Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance[0] > 0.12 {
+		t.Fatalf("unit-load imbalance %v", res.Imbalance[0])
+	}
+	if res.FineResult == nil || res.FineResult.K != 8 {
+		t.Fatal("fine result missing or wrong size")
+	}
+}
+
+func TestMultiDimValidation(t *testing.T) {
+	g := randomBipartite(t, 9, 20, 30, 100)
+	unit := make([]float64, 30)
+	cases := []MultiDimOptions{
+		{K: 0, Loads: [][]float64{unit}},
+		{K: 2},
+		{K: 2, C: -1, Loads: [][]float64{unit}},
+		{K: 2, Loads: [][]float64{unit[:5]}},
+		{K: 2, Loads: [][]float64{{-1}}},
+	}
+	for i, o := range cases {
+		if _, err := PartitionMultiDim(g, o); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestMultiDimZeroLoadDimension(t *testing.T) {
+	g := randomBipartite(t, 13, 100, 150, 700)
+	unit := make([]float64, 150)
+	zero := make([]float64, 150)
+	for v := range unit {
+		unit[v] = 1
+	}
+	res, err := PartitionMultiDim(g, MultiDimOptions{K: 3, Loads: [][]float64{unit, zero}, Base: Options{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance[1] != -1 && res.Imbalance[1] > 0 {
+		t.Fatalf("zero-load dimension imbalance %v should not constrain", res.Imbalance[1])
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements the Social Hash Partitioner: balanced k-way
+// hypergraph partitioning that minimizes fanout by local search on the
+// probabilistic-fanout objective (Kabiljo et al., VLDB 2017, Section 3).
+//
+// Two execution strategies are provided, matching the paper's SHP-2 and
+// SHP-k: recursive bisection (Branching = 2, arbitrary branching supported)
+// and direct k-way refinement (Branching = 0). Both iterate the same scheme:
+// compute a move gain for every data vertex (Equation 1), pick the best
+// target bucket, and let a master pair opposing move proposals so that
+// balance is preserved, using one of three pairing protocols (Section 3.1's
+// S-matrix, Section 3.4's gain histograms, or an exact sorted-queue pairing
+// that serves as the quality reference).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shp/internal/partition"
+)
+
+// Objective selects what the local search optimizes.
+type Objective int
+
+const (
+	// ObjPFanout minimizes probabilistic fanout with probability Options.P
+	// (the paper's default objective; p=0.5 recommended).
+	ObjPFanout Objective = iota
+	// ObjFanout minimizes plain fanout directly (the p -> 1 limit, Lemma 1).
+	ObjFanout
+	// ObjCliqueNet minimizes the clique-net weighted edge-cut (the p -> 0
+	// limit, Lemma 2), with exact linear gains rather than a tiny p.
+	ObjCliqueNet
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjPFanout:
+		return "p-fanout"
+	case ObjFanout:
+		return "fanout"
+	case ObjCliqueNet:
+		return "clique-net"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// PairingMode selects how opposing move proposals are matched while
+// preserving balance.
+type PairingMode int
+
+const (
+	// PairHistogram is the advanced protocol from Section 3.4: per-direction
+	// histograms of move gains in exponentially sized bins, matched
+	// best-first, with fractional probability on the boundary bin, pairing
+	// of positive with negative bins when the summed gain is positive, and
+	// extra imbalanced moves within the ε budget.
+	PairHistogram PairingMode = iota
+	// PairSimple is Algorithm 1's protocol: count positive-gain proposals
+	// per direction in matrix S and move with probability
+	// min(S_ij, S_ji)/S_ij.
+	PairSimple
+	// PairExact is the "ideal serial implementation": sort both queues by
+	// gain and pair greedily. Deterministic; used as the quality reference
+	// in ablations. Only available in recursive (bisection) mode.
+	PairExact
+)
+
+func (m PairingMode) String() string {
+	switch m {
+	case PairHistogram:
+		return "histogram"
+	case PairSimple:
+		return "simple"
+	case PairExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("PairingMode(%d)", int(m))
+	}
+}
+
+// Options configures a partitioning run. The zero value plus K is usable:
+// all other fields default to the paper's recommended settings.
+type Options struct {
+	// K is the number of buckets (required, >= 1).
+	K int
+	// Epsilon is the allowed imbalance: every bucket holds at most
+	// (1+Epsilon) * n/k data vertices. Default 0.05 (the paper's setting).
+	Epsilon float64
+	// P is the fanout probability for ObjPFanout. Default 0.5.
+	P float64
+	// Objective selects the optimization target. Default ObjPFanout.
+	Objective Objective
+	// Direct selects direct k-way refinement (the paper's SHP-k) instead of
+	// recursive partitioning (SHP-2, the default and the open-sourced
+	// variant).
+	Direct bool
+	// Branching is the recursion arity for recursive mode; 2 is SHP-2.
+	// Ignored when Direct is set. Default 2.
+	Branching int
+	// MaxIters bounds refinement iterations (per bisection level for
+	// recursive mode). Defaults: 20 recursive (per level), 60 direct.
+	MaxIters int
+	// MinMoveFraction stops refinement when the fraction of moved vertices
+	// drops below it. Default 0.001.
+	MinMoveFraction float64
+	// Parallelism is the number of worker goroutines; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed makes runs reproducible. Two runs with equal options and seed
+	// produce identical partitions regardless of parallelism.
+	Seed uint64
+	// Pairing selects the swap protocol. Default PairHistogram.
+	Pairing PairingMode
+	// DisableLookahead turns off Section 3.4's final-p-fanout approximation
+	// during recursive partitioning (each split then optimizes the current
+	// 2-way objective only). Ablation knob.
+	DisableLookahead bool
+	// DisableEpsilonScaling turns off Section 3.4's schedule that grants
+	// only ε·(level/levels) imbalance at early recursion levels.
+	// Ablation knob.
+	DisableEpsilonScaling bool
+	// TrackFanout records the true average fanout after every iteration in
+	// the history (direct mode only; costs one metric evaluation per
+	// iteration). Used by the Figure 7 experiment.
+	TrackFanout bool
+	// Initial warm-starts refinement from an existing assignment
+	// (Section 5's incremental updates). Length must equal NumData.
+	Initial partition.Assignment
+	// MoveCostPenalty discourages moving vertices away from their Initial
+	// assignment: each gain is reduced by this amount (in objective units)
+	// when a vertex would leave its initial bucket and increased when it
+	// would return. Only meaningful with Initial.
+	MoveCostPenalty float64
+}
+
+// withDefaults returns a copy with defaults filled in.
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.P == 0 {
+		o.P = 0.5
+	}
+	if o.Objective == ObjFanout {
+		o.P = 1
+	}
+	if o.Branching == 0 {
+		o.Branching = 2
+	}
+	if o.MaxIters == 0 {
+		if o.Direct {
+			o.MaxIters = 60 // the paper's SHP-k default
+		} else {
+			o.MaxIters = 20 // the paper's per-bisection default
+		}
+	}
+	if o.MinMoveFraction == 0 {
+		o.MinMoveFraction = 0.001
+	}
+	return o
+}
+
+// validate reports configuration errors.
+func (o Options) validate(numData int) error {
+	if o.K < 1 {
+		return errors.New("core: K must be >= 1")
+	}
+	if o.Epsilon < 0 {
+		return errors.New("core: Epsilon must be >= 0")
+	}
+	if o.Objective == ObjPFanout && (o.P <= 0 || o.P > 1) {
+		return fmt.Errorf("core: P must be in (0, 1], got %v", o.P)
+	}
+	if o.Branching < 2 {
+		return fmt.Errorf("core: Branching must be >= 2, got %d", o.Branching)
+	}
+	if o.Direct && o.Pairing == PairExact {
+		return errors.New("core: PairExact is only available in recursive mode")
+	}
+	if o.Initial != nil && len(o.Initial) != numData {
+		return fmt.Errorf("core: Initial has %d entries for %d data vertices", len(o.Initial), numData)
+	}
+	if o.Initial != nil {
+		if err := o.Initial.Validate(o.K); err != nil {
+			return fmt.Errorf("core: bad Initial: %w", err)
+		}
+	}
+	if o.MoveCostPenalty < 0 {
+		return errors.New("core: MoveCostPenalty must be >= 0")
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import "math"
+
+// Swap pairing: the master-side protocol that converts per-vertex move
+// proposals into move probabilities while preserving balance (Sections 3.1
+// and 3.4 of the paper).
+//
+// A proposal is (direction, gain). For each unordered bucket pair the master
+// sees two opposing queues and must decide how many proposals from each side
+// to accept. Accepting one from each side is a balanced swap; accepting an
+// unbalanced surplus is allowed only within the ε headroom.
+
+// histBins is the number of exponential gain bins per sign. Gains spanning
+// ~19 orders of magnitude (2^64) fit; anything below histBase is treated as
+// (almost) zero gain.
+const histBins = 64
+
+// histBase is the lower edge of bin 0.
+const histBase = 1e-12
+
+// dampProb caps per-bin move probabilities in the histogram protocol.
+// A strictly-below-one cap is required for convergence on symmetric
+// instances: with probability exactly 1 in both directions, a batch local
+// search can oscillate forever between two mirror states (every vertex
+// swaps every iteration). The cap lets the per-vertex coins break the
+// symmetry; production graphs are never perfectly symmetric, which is why
+// the paper does not need to mention this.
+const dampProb = 0.95
+
+// binFor maps |gain| to a bin index; larger gains land in larger bins.
+func binFor(absGain float64) int {
+	if absGain < histBase {
+		return 0
+	}
+	b := int(math.Log2(absGain / histBase))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+// DirHist is one direction's histogram of proposal gains: positive gains
+// (improvements) and non-positive gains (stored by |gain|), with per-bin
+// gain sums so matching can use the bin's mean gain instead of its edge.
+type DirHist struct {
+	posCount [histBins]int64
+	posSum   [histBins]float64
+	negCount [histBins]int64
+	negSum   [histBins]float64
+}
+
+// add records one proposal with the given gain.
+func (h *DirHist) Add(gain float64) {
+	if gain > 0 {
+		b := binFor(gain)
+		h.posCount[b]++
+		h.posSum[b] += gain
+	} else {
+		b := binFor(-gain)
+		h.negCount[b]++
+		h.negSum[b] += gain
+	}
+}
+
+// merge folds another histogram into this one (for per-worker partials).
+func (h *DirHist) Merge(o *DirHist) {
+	for i := 0; i < histBins; i++ {
+		h.posCount[i] += o.posCount[i]
+		h.posSum[i] += o.posSum[i]
+		h.negCount[i] += o.negCount[i]
+		h.negSum[i] += o.negSum[i]
+	}
+}
+
+// total returns the number of proposals recorded.
+func (h *DirHist) Total() int64 {
+	var t int64
+	for i := 0; i < histBins; i++ {
+		t += h.posCount[i] + h.negCount[i]
+	}
+	return t
+}
+
+// orderedBin is a histogram bin in matching order (best gain first).
+type orderedBin struct {
+	positive bool
+	idx      int     // bin index within its sign
+	count    int64   // proposals in the bin
+	meanGain float64 // mean gain of the bin's proposals
+}
+
+// orderedBins lists h's non-empty bins best-first: positive bins from
+// largest to smallest gain, then negative bins from closest-to-zero down.
+func (h *DirHist) orderedBins() []orderedBin {
+	out := make([]orderedBin, 0, 8)
+	for b := histBins - 1; b >= 0; b-- {
+		if h.posCount[b] > 0 {
+			out = append(out, orderedBin{
+				positive: true, idx: b, count: h.posCount[b],
+				meanGain: h.posSum[b] / float64(h.posCount[b]),
+			})
+		}
+	}
+	for b := 0; b < histBins; b++ {
+		if h.negCount[b] > 0 {
+			out = append(out, orderedBin{
+				positive: false, idx: b, count: h.negCount[b],
+				meanGain: h.negSum[b] / float64(h.negCount[b]),
+			})
+		}
+	}
+	return out
+}
+
+// ProbTable holds per-bin move probabilities for one direction.
+type ProbTable struct {
+	pos [histBins]float64
+	neg [histBins]float64
+}
+
+// probFor returns the move probability for a proposal with the given gain.
+func (p *ProbTable) ProbFor(gain float64) float64 {
+	if gain > 0 {
+		return p.pos[binFor(gain)]
+	}
+	return p.neg[binFor(-gain)]
+}
+
+// MatchHistograms runs Section 3.4's bin matching between two opposing
+// directions. extraA and extraB are the additional unbalanced proposals each
+// direction may accept beyond the pairing (the ε headroom of the receiving
+// side, in vertices). It returns per-bin move probabilities for both
+// directions.
+//
+// Matching walks both bin sequences best-first and pairs min(remaining)
+// proposals while the pair's expected summed gain is positive; because both
+// sequences are sorted by gain, the first non-positive pair ends matching.
+// Fully matched bins get probability 1, the boundary bin a fractional
+// probability. Afterwards, remaining positive-gain proposals are granted
+// one-sided quota up to the extra allowance.
+func MatchHistograms(a, b *DirHist, extraA, extraB int64) (ProbTable, ProbTable) {
+	binsA := a.orderedBins()
+	binsB := b.orderedBins()
+	quotaA := make([]int64, len(binsA))
+	quotaB := make([]int64, len(binsB))
+	remA := make([]int64, len(binsA))
+	remB := make([]int64, len(binsB))
+	for i, bin := range binsA {
+		remA[i] = bin.count
+	}
+	for i, bin := range binsB {
+		remB[i] = bin.count
+	}
+	ai, bi := 0, 0
+	for ai < len(binsA) && bi < len(binsB) {
+		if remA[ai] == 0 {
+			ai++
+			continue
+		}
+		if remB[bi] == 0 {
+			bi++
+			continue
+		}
+		if binsA[ai].meanGain+binsB[bi].meanGain <= 0 {
+			break
+		}
+		m := remA[ai]
+		if remB[bi] < m {
+			m = remB[bi]
+		}
+		quotaA[ai] += m
+		quotaB[bi] += m
+		remA[ai] -= m
+		remB[bi] -= m
+	}
+	// One-sided extras within the ε headroom: best positive bins first.
+	grantExtras(binsA, remA, quotaA, extraA)
+	grantExtras(binsB, remB, quotaB, extraB)
+
+	var pa, pb ProbTable
+	fillProbs(&pa, binsA, quotaA)
+	fillProbs(&pb, binsB, quotaB)
+	return pa, pb
+}
+
+func grantExtras(bins []orderedBin, rem, quota []int64, extra int64) {
+	for i := range bins {
+		if extra <= 0 {
+			return
+		}
+		if !bins[i].positive || bins[i].meanGain <= 0 || rem[i] == 0 {
+			continue
+		}
+		e := rem[i]
+		if extra < e {
+			e = extra
+		}
+		quota[i] += e
+		rem[i] -= e
+		extra -= e
+	}
+}
+
+func fillProbs(p *ProbTable, bins []orderedBin, quota []int64) {
+	for i, bin := range bins {
+		if quota[i] == 0 {
+			continue
+		}
+		prob := float64(quota[i]) / float64(bin.count)
+		if prob > dampProb {
+			prob = dampProb
+		}
+		if bin.positive {
+			p.pos[bin.idx] = prob
+		} else {
+			p.neg[bin.idx] = prob
+		}
+	}
+}
+
+// MatchSimple implements Algorithm 1's protocol: only positive gains
+// propose, and the probability for direction A is min(S_A, S_B)/S_A.
+// It returns per-direction scalar probabilities expressed as probTables
+// (uniform across positive bins, zero for negative bins).
+func MatchSimple(a, b *DirHist, extraA, extraB int64) (ProbTable, ProbTable) {
+	var sa, sb int64
+	for i := 0; i < histBins; i++ {
+		sa += a.posCount[i]
+		sb += b.posCount[i]
+	}
+	minS := sa
+	if sb < minS {
+		minS = sb
+	}
+	var pa, pb ProbTable
+	if sa > 0 {
+		p := float64(minS+min64(extraA, sa-minS)) / float64(sa)
+		for i := 0; i < histBins; i++ {
+			pa.pos[i] = p
+		}
+	}
+	if sb > 0 {
+		p := float64(minS+min64(extraB, sb-minS)) / float64(sb)
+		for i := 0; i < histBins; i++ {
+			pb.pos[i] = p
+		}
+	}
+	return pa, pb
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinForMonotone(t *testing.T) {
+	prev := -1
+	for _, g := range []float64{0, 1e-13, 1e-12, 1e-9, 1e-6, 0.001, 0.5, 1, 100, 1e20} {
+		b := binFor(g)
+		if b < prev {
+			t.Fatalf("binFor not monotone at %v: %d < %d", g, b, prev)
+		}
+		if b < 0 || b >= histBins {
+			t.Fatalf("binFor(%v) = %d out of range", g, b)
+		}
+		prev = b
+	}
+}
+
+func TestDirHistAddAndTotal(t *testing.T) {
+	var h DirHist
+	h.Add(0.5)
+	h.Add(-0.25)
+	h.Add(0)
+	if h.Total() != 3 {
+		t.Fatalf("total = %d, want 3", h.Total())
+	}
+	var pos, neg int64
+	for i := 0; i < histBins; i++ {
+		pos += h.posCount[i]
+		neg += h.negCount[i]
+	}
+	if pos != 1 || neg != 2 {
+		t.Fatalf("pos=%d neg=%d, want 1 and 2 (zero counts as non-positive)", pos, neg)
+	}
+}
+
+func TestDirHistMerge(t *testing.T) {
+	var a, b DirHist
+	a.Add(1)
+	b.Add(1)
+	b.Add(-2)
+	a.Merge(&b)
+	if a.Total() != 3 {
+		t.Fatalf("merged total = %d", a.Total())
+	}
+}
+
+func TestOrderedBinsBestFirst(t *testing.T) {
+	var h DirHist
+	h.Add(100)
+	h.Add(0.001)
+	h.Add(-0.5)
+	h.Add(-200)
+	bins := h.orderedBins()
+	if len(bins) != 4 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	for i := 1; i < len(bins); i++ {
+		if bins[i].meanGain > bins[i-1].meanGain {
+			t.Fatalf("bins not in descending gain order: %v then %v", bins[i-1].meanGain, bins[i].meanGain)
+		}
+	}
+}
+
+func TestMatchHistogramsBalancedSwap(t *testing.T) {
+	// Equal positive proposals both directions: all should move (up to the
+	// anti-oscillation damping cap).
+	var a, b DirHist
+	for i := 0; i < 10; i++ {
+		a.Add(1.0)
+		b.Add(2.0)
+	}
+	pa, pb := MatchHistograms(&a, &b, 0, 0)
+	if p := pa.ProbFor(1.0); p != dampProb {
+		t.Fatalf("direction A probability = %v, want %v", p, dampProb)
+	}
+	if p := pb.ProbFor(2.0); p != dampProb {
+		t.Fatalf("direction B probability = %v, want %v", p, dampProb)
+	}
+}
+
+func TestMatchHistogramsOneSidedNoExtras(t *testing.T) {
+	// Positive proposals only on one side, no headroom: nothing moves.
+	var a, b DirHist
+	for i := 0; i < 10; i++ {
+		a.Add(1.0)
+	}
+	pa, _ := MatchHistograms(&a, &b, 0, 0)
+	if p := pa.ProbFor(1.0); p != 0 {
+		t.Fatalf("one-sided with no extras moved with probability %v", p)
+	}
+}
+
+func TestMatchHistogramsExtras(t *testing.T) {
+	// One-sided positive proposals with headroom 5 of 10: probability 0.5.
+	var a, b DirHist
+	for i := 0; i < 10; i++ {
+		a.Add(1.0)
+	}
+	pa, _ := MatchHistograms(&a, &b, 5, 0)
+	if p := pa.ProbFor(1.0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("extras probability = %v, want 0.5", p)
+	}
+}
+
+func TestMatchHistogramsPositiveNegativePairing(t *testing.T) {
+	// A has large positive gains, B only slightly negative ones: the summed
+	// gain is positive, so the pair should swap (Section 3.4's "frees up
+	// additional movement").
+	var a, b DirHist
+	for i := 0; i < 4; i++ {
+		a.Add(10.0)
+		b.Add(-0.5)
+	}
+	pa, pb := MatchHistograms(&a, &b, 0, 0)
+	if p := pa.ProbFor(10.0); p != dampProb {
+		t.Fatalf("positive side probability = %v, want %v", p, dampProb)
+	}
+	if p := pb.ProbFor(-0.5); p != dampProb {
+		t.Fatalf("negative side probability = %v, want %v", p, dampProb)
+	}
+}
+
+func TestMatchHistogramsRejectsNetNegative(t *testing.T) {
+	// Summed gain negative: no pairing.
+	var a, b DirHist
+	a.Add(0.5)
+	b.Add(-10.0)
+	pa, pb := MatchHistograms(&a, &b, 0, 0)
+	if pa.ProbFor(0.5) != 0 || pb.ProbFor(-10.0) != 0 {
+		t.Fatal("net-negative pair was allowed to swap")
+	}
+}
+
+func TestMatchHistogramsPartialBin(t *testing.T) {
+	// 10 proposals one way, 4 the other: boundary bin gets 4/10.
+	var a, b DirHist
+	for i := 0; i < 10; i++ {
+		a.Add(1.0)
+	}
+	for i := 0; i < 4; i++ {
+		b.Add(1.0)
+	}
+	pa, pb := MatchHistograms(&a, &b, 0, 0)
+	if p := pa.ProbFor(1.0); math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("partial bin probability = %v, want 0.4", p)
+	}
+	if p := pb.ProbFor(1.0); p != dampProb {
+		t.Fatalf("smaller side probability = %v, want %v", p, dampProb)
+	}
+}
+
+func TestMatchHistogramsExpectedFlowBalanced(t *testing.T) {
+	// Property: without extras, expected flow A->B equals expected flow
+	// B->A (the paper's balance-in-expectation invariant), up to the small
+	// asymmetry introduced by the damping cap (which trims at most a
+	// (1 - dampProb) fraction from fully matched bins).
+	err := quick.Check(func(seed uint64, na, nb uint8) bool {
+		var a, b DirHist
+		r := newSeq(seed)
+		for i := 0; i < int(na%50); i++ {
+			a.Add(r.next()*4 - 1) // gains in [-1, 3)
+		}
+		for i := 0; i < int(nb%50); i++ {
+			b.Add(r.next()*4 - 1)
+		}
+		pa, pb := MatchHistograms(&a, &b, 0, 0)
+		flow := func(h *DirHist, p *ProbTable) float64 {
+			f := 0.0
+			for i := 0; i < histBins; i++ {
+				f += float64(h.posCount[i]) * p.pos[i]
+				f += float64(h.negCount[i]) * p.neg[i]
+			}
+			return f
+		}
+		fa, fb := flow(&a, &pa), flow(&b, &pb)
+		tol := (1 - dampProb) * math.Max(fa, fb) / dampProb
+		return math.Abs(fa-fb) <= tol+1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchSimple(t *testing.T) {
+	var a, b DirHist
+	for i := 0; i < 10; i++ {
+		a.Add(1.0)
+	}
+	for i := 0; i < 6; i++ {
+		b.Add(2.0)
+	}
+	a.Add(-1) // negative proposals are ignored by the simple protocol
+	pa, pb := MatchSimple(&a, &b, 0, 0)
+	if p := pa.ProbFor(1.0); math.Abs(p-0.6) > 1e-12 {
+		t.Fatalf("S-matrix prob A = %v, want 0.6", p)
+	}
+	if p := pb.ProbFor(2.0); p != 1 {
+		t.Fatalf("S-matrix prob B = %v, want 1", p)
+	}
+	if p := pa.ProbFor(-1.0); p != 0 {
+		t.Fatalf("negative gain moved under simple protocol: %v", p)
+	}
+}
+
+func TestProbTableZeroGain(t *testing.T) {
+	var p ProbTable
+	p.neg[0] = 0.25
+	if got := p.ProbFor(0); got != 0.25 {
+		t.Fatalf("zero gain should use negative bin 0: %v", got)
+	}
+}
+
+// seq is a tiny deterministic float sequence for property tests.
+type seq struct{ state uint64 }
+
+func newSeq(seed uint64) *seq { return &seq{state: seed} }
+
+func (s *seq) next() float64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return float64(s.state>>11) / (1 << 53)
+}

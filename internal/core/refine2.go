@@ -1,0 +1,511 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"shp/internal/hypergraph"
+	"shp/internal/par"
+	"shp/internal/rng"
+)
+
+// bisection is one 2-way refinement subproblem over a compact induced graph.
+// Recursive bisection (SHP-2) builds one of these per recursion node; the
+// two "sides" are the node's two children.
+type bisection struct {
+	g    *hypergraph.Bipartite
+	opts Options
+	seed uint64
+
+	level, task int
+	workers     int
+	maxIters    int
+
+	// Lookahead split counts: side 0 will later split into tSplit[0] final
+	// buckets, side 1 into tSplit[1] (Section 3.4's final-p-fanout
+	// approximation). Both 1 when lookahead is disabled or at leaf level.
+	tSplit [2]int
+	tables [2]GainTables
+
+	// eps is the imbalance allowance granted to this recursion level.
+	eps float64
+
+	side []int8     // current side of each data vertex
+	home []int8     // warm-start side, -1 when absent (for MoveCostPenalty)
+	n    [2][]int32 // per-query neighbor counts per side
+	w    [2]int64   // side weights
+
+	targetW [2]float64
+	capW    [2]float64
+
+	gains []float64
+
+	// qw holds per-query weights as float64 (nil when unit-weighted):
+	// weighted queries scale their Equation 1 terms and objective
+	// contributions proportionally.
+	qw []float64
+
+	history []IterStats
+}
+
+// newBisection prepares a subproblem. propLeft is the share of total weight
+// destined for side 0 (e.g. 3/5 when splitting 5 buckets into 3+2).
+// idealPerBucket is the global ideal weight of one final bucket
+// (total graph weight / K); balance caps are expressed against it so that
+// per-level ε allowances telescope to the overall (1+ε)·n/k bound instead of
+// compounding. Pass <= 0 to derive it from the subproblem itself.
+func newBisection(g *hypergraph.Bipartite, opts Options, seed uint64, level, task int,
+	tLeft, tRight int, propLeft, eps, idealPerBucket float64, home []int8) *bisection {
+
+	b := &bisection{
+		g: g, opts: opts, seed: seed,
+		level: level, task: task,
+		workers:  par.Workers(opts.Parallelism),
+		maxIters: opts.MaxIters,
+		tSplit:   [2]int{tLeft, tRight},
+		eps:      eps,
+		home:     home,
+	}
+	maxN := g.MaxQueryDegree()
+	b.tables[0] = tablesFor(opts, tLeft, maxN)
+	b.tables[1] = tablesFor(opts, tRight, maxN)
+
+	nd := g.NumData()
+	b.side = make([]int8, nd)
+	b.gains = make([]float64, nd)
+	b.n[0] = make([]int32, g.NumQueries())
+	b.n[1] = make([]int32, g.NumQueries())
+	if g.QueryWeighted() {
+		b.qw = make([]float64, g.NumQueries())
+		for q := range b.qw {
+			b.qw[q] = float64(g.QueryWeight(int32(q)))
+		}
+	}
+
+	total := g.TotalDataWeight()
+	b.targetW[0] = float64(total) * propLeft
+	b.targetW[1] = float64(total) - b.targetW[0]
+	if idealPerBucket <= 0 {
+		idealPerBucket = float64(total) / float64(tLeft+tRight)
+	}
+	b.capW[0] = idealPerBucket * float64(tLeft) * (1 + eps)
+	b.capW[1] = idealPerBucket * float64(tRight) * (1 + eps)
+
+	b.initialSplit(propLeft)
+	b.recountNeighborData()
+	return b
+}
+
+// initialSplit assigns sides. With a warm start (home), vertices keep their
+// home side and only balance violations are repaired; otherwise a random
+// permutation is cut at the target weight, giving the near-perfect initial
+// balance the paper's random initialization relies on.
+func (b *bisection) initialSplit(propLeft float64) {
+	nd := b.g.NumData()
+	if b.home != nil {
+		copy(b.side, b.home)
+		for i, h := range b.home {
+			if h < 0 {
+				// Vertex without a warm-start side: deterministic coin.
+				if rng.CoinAt(b.seed^0x5157, uint64(i)) < propLeft {
+					b.side[i] = 0
+				} else {
+					b.side[i] = 1
+				}
+			}
+		}
+		b.recountWeights()
+		b.repairBalance()
+		return
+	}
+	order := rng.NewStream(b.seed, 0xF00D).Perm(nd)
+	var acc float64
+	for _, v := range order {
+		wv := float64(b.g.DataWeight(int32(v)))
+		if acc+wv/2 < b.targetW[0] {
+			b.side[v] = 0
+			acc += wv
+		} else {
+			b.side[v] = 1
+		}
+	}
+	b.recountWeights()
+}
+
+func (b *bisection) recountWeights() {
+	b.w[0], b.w[1] = 0, 0
+	for v := 0; v < b.g.NumData(); v++ {
+		b.w[b.side[v]] += int64(b.g.DataWeight(int32(v)))
+	}
+}
+
+// repairBalance flips vertices from the over-cap side (in deterministic
+// random order) until both caps hold. Needed only for warm starts.
+func (b *bisection) repairBalance() {
+	for s := 0; s < 2; s++ {
+		if float64(b.w[s]) <= b.capW[s] {
+			continue
+		}
+		order := rng.NewStream(b.seed, 0xBA1A).Perm(b.g.NumData())
+		for _, v := range order {
+			if float64(b.w[s]) <= b.targetW[s] {
+				break
+			}
+			if b.side[v] != int8(s) {
+				continue
+			}
+			b.side[v] = int8(1 - s)
+			wv := int64(b.g.DataWeight(int32(v)))
+			b.w[s] -= wv
+			b.w[1-s] += wv
+		}
+	}
+}
+
+// recountNeighborData rebuilds the per-query side counts from scratch.
+func (b *bisection) recountNeighborData() {
+	nq := b.g.NumQueries()
+	par.For(nq, b.workers, func(start, end int) {
+		for q := start; q < end; q++ {
+			var c0, c1 int32
+			for _, d := range b.g.QueryNeighbors(int32(q)) {
+				if b.side[d] == 0 {
+					c0++
+				} else {
+					c1++
+				}
+			}
+			b.n[0][q] = c0
+			b.n[1][q] = c1
+		}
+	})
+}
+
+// computeGains evaluates Equation 1 for every data vertex: the improvement
+// from moving it to the opposite side, plus the incremental-update penalty.
+func (b *bisection) computeGains() {
+	nd := b.g.NumData()
+	penalty := b.opts.MoveCostPenalty
+	par.For(nd, b.workers, func(start, end int) {
+		for v := start; v < end; v++ {
+			cur := b.side[v]
+			oth := 1 - cur
+			tCur := b.tables[cur].T
+			tOth := b.tables[oth].T
+			sum := 0.0
+			if b.qw == nil {
+				for _, q := range b.g.DataNeighbors(int32(v)) {
+					sum += tCur[b.n[cur][q]-1] - tOth[b.n[oth][q]]
+				}
+			} else {
+				for _, q := range b.g.DataNeighbors(int32(v)) {
+					sum += b.qw[q] * (tCur[b.n[cur][q]-1] - tOth[b.n[oth][q]])
+				}
+			}
+			g := b.tables[0].mult * sum
+			if penalty > 0 && b.home != nil && b.home[v] >= 0 {
+				if cur == b.home[v] {
+					g -= penalty // would leave home
+				} else {
+					g += penalty // would return home
+				}
+			}
+			b.gains[v] = g
+		}
+	})
+}
+
+// objective returns the subproblem's current objective value (sum over
+// queries of both sides' contributions, using the lookahead tables).
+func (b *bisection) objective() float64 {
+	nq := b.g.NumQueries()
+	return par.SumFloat64(nq, b.workers, func(start, end int) float64 {
+		sum := 0.0
+		c0 := b.tables[0].C
+		c1 := b.tables[1].C
+		for q := start; q < end; q++ {
+			c := c0[b.n[0][q]] + c1[b.n[1][q]]
+			if b.qw != nil {
+				c *= b.qw[q]
+			}
+			sum += c
+		}
+		return sum
+	})
+}
+
+// extras returns the one-sided move allowances (in vertices) for directions
+// 0->1 and 1->0, derived from the receiving side's remaining ε headroom.
+func (b *bisection) extras() (into1, into0 int64) {
+	avgW := 1.0
+	if b.g.Weighted() {
+		avgW = float64(b.g.TotalDataWeight()) / float64(b.g.NumData())
+	}
+	head1 := (b.capW[1] - float64(b.w[1])) / avgW
+	head0 := (b.capW[0] - float64(b.w[0])) / avgW
+	// 0.9 safety margin: probabilistic rounding can overshoot the expected
+	// number of extra moves.
+	if head1 > 0 {
+		into1 = int64(head1 * 0.9)
+	}
+	if head0 > 0 {
+		into0 = int64(head0 * 0.9)
+	}
+	return into1, into0
+}
+
+// run iterates refinement until convergence and returns the final sides.
+func (b *bisection) run() []int8 {
+	nd := b.g.NumData()
+	if nd == 0 {
+		return b.side
+	}
+	for iter := 0; iter < b.maxIters; iter++ {
+		b.computeGains()
+		var moved int64
+		if b.opts.Pairing == PairExact {
+			moved = b.applyExact(iter)
+		} else {
+			moved = b.applyProbabilistic(iter)
+		}
+		b.history = append(b.history, IterStats{
+			Level: b.level, Task: b.task, Iter: iter,
+			Objective:     b.objective(),
+			Moved:         moved,
+			MovedFraction: float64(moved) / float64(nd),
+		})
+		if moved == 0 || float64(moved)/float64(nd) < b.opts.MinMoveFraction {
+			break
+		}
+	}
+	return b.side
+}
+
+// applyProbabilistic runs the histogram (or S-matrix) protocol: aggregate
+// per-direction gain histograms, let the "master" compute per-bin move
+// probabilities, then move each vertex with its bin's probability using a
+// per-vertex deterministic coin.
+func (b *bisection) applyProbabilistic(iter int) int64 {
+	nd := b.g.NumData()
+	// Per-worker histogram partials, merged in worker order (counts are
+	// order independent).
+	partials := make([][2]DirHist, b.workers)
+	par.ForWorker(nd, b.workers, func(w, start, end int) {
+		for v := start; v < end; v++ {
+			partials[w][b.side[v]].Add(b.gains[v])
+		}
+	})
+	var hist [2]DirHist
+	for i := range partials {
+		hist[0].Merge(&partials[i][0])
+		hist[1].Merge(&partials[i][1])
+	}
+	into1, into0 := b.extras()
+	var probs [2]ProbTable
+	if b.opts.Pairing == PairSimple {
+		probs[0], probs[1] = MatchSimple(&hist[0], &hist[1], into1, into0)
+	} else {
+		probs[0], probs[1] = MatchHistograms(&hist[0], &hist[1], into1, into0)
+	}
+
+	// Phase 1 (parallel): per-vertex coin decisions.
+	decided := make([]bool, nd)
+	iterKey := rng.Mix(uint64(iter)+1, 0xC01)
+	par.For(nd, b.workers, func(start, end int) {
+		for v := start; v < end; v++ {
+			p := probs[b.side[v]].ProbFor(b.gains[v])
+			if p <= 0 {
+				continue
+			}
+			if p >= 1 || rng.CoinAt(b.seed, rng.Mix(iterKey, uint64(v))) < p {
+				decided[v] = true
+			}
+		}
+	})
+	// Phase 2 (serial, deterministic): apply all decided moves, then undo
+	// the lowest-gain arrivals of any side that breached its cap. Applying
+	// first lets opposing flows cancel (a swap must not deadlock on two
+	// full sides); the undo pass upgrades the paper's balance-in-
+	// expectation to a hard cap. Because total weight never exceeds
+	// capL + capR, trimming one side cannot push the other over its cap.
+	var applied []int32
+	for v := 0; v < nd; v++ {
+		if !decided[v] {
+			continue
+		}
+		cur := b.side[v]
+		oth := 1 - cur
+		wv := int64(b.g.DataWeight(int32(v)))
+		b.side[v] = oth
+		b.w[cur] -= wv
+		b.w[oth] += wv
+		applied = append(applied, int32(v))
+	}
+	for s := int8(0); s < 2; s++ {
+		if float64(b.w[s]) <= b.capW[s] {
+			continue
+		}
+		arrivals := make([]int32, 0, len(applied))
+		for _, v := range applied {
+			// decided[v] guards against double-undo: a vertex undone by the
+			// other side's trim pass is already back home and must not be
+			// flipped again (that would desynchronize the neighbor counts).
+			if decided[v] && b.side[v] == s {
+				arrivals = append(arrivals, v)
+			}
+		}
+		sort.Slice(arrivals, func(i, j int) bool {
+			gi, gj := b.gains[arrivals[i]], b.gains[arrivals[j]]
+			if gi != gj {
+				return gi < gj
+			}
+			return arrivals[i] < arrivals[j]
+		})
+		for _, v := range arrivals {
+			if float64(b.w[s]) <= b.capW[s] {
+				break
+			}
+			wv := int64(b.g.DataWeight(v))
+			b.side[v] = 1 - s
+			b.w[s] -= wv
+			b.w[1-s] += wv
+			decided[v] = false // undone
+		}
+	}
+	// Phase 3 (parallel): neighbor-count updates for surviving moves.
+	accepted := applied[:0]
+	for _, v := range applied {
+		if decided[v] {
+			accepted = append(accepted, v)
+		}
+	}
+	par.For(len(accepted), b.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			v := accepted[i]
+			oth := b.side[v] // already flipped
+			cur := 1 - oth
+			for _, q := range b.g.DataNeighbors(v) {
+				atomic.AddInt32(&b.n[cur][q], -1)
+				atomic.AddInt32(&b.n[oth][q], 1)
+			}
+		}
+	})
+	return int64(len(accepted))
+}
+
+// freshGain recomputes vertex v's Equation 1 gain from the current counts
+// (as opposed to the batch gains computed at the start of the iteration).
+func (b *bisection) freshGain(v int32) float64 {
+	cur := b.side[v]
+	oth := 1 - cur
+	tCur := b.tables[cur].T
+	tOth := b.tables[oth].T
+	sum := 0.0
+	if b.qw == nil {
+		for _, q := range b.g.DataNeighbors(v) {
+			sum += tCur[b.n[cur][q]-1] - tOth[b.n[oth][q]]
+		}
+	} else {
+		for _, q := range b.g.DataNeighbors(v) {
+			sum += b.qw[q] * (tCur[b.n[cur][q]-1] - tOth[b.n[oth][q]])
+		}
+	}
+	g := b.tables[0].mult * sum
+	if b.opts.MoveCostPenalty > 0 && b.home != nil && b.home[v] >= 0 {
+		if cur == b.home[v] {
+			g -= b.opts.MoveCostPenalty
+		} else {
+			g += b.opts.MoveCostPenalty
+		}
+	}
+	return g
+}
+
+// moveExact applies one move, maintaining counts and weights.
+func (b *bisection) moveExact(v int32) {
+	cur := b.side[v]
+	oth := 1 - cur
+	b.side[v] = oth
+	wv := int64(b.g.DataWeight(v))
+	b.w[cur] -= wv
+	b.w[oth] += wv
+	for _, q := range b.g.DataNeighbors(v) {
+		b.n[cur][q]--
+		b.n[oth][q]++
+	}
+}
+
+// applyExact runs the "ideal serial implementation" the paper describes as
+// the reference (Section 3.4): both proposal queues are sorted by gain and
+// paired greedily from the top. Each pair's gains are re-evaluated against
+// the current state before applying, so every applied pair strictly
+// improves the objective — this is what rules out the batch-move
+// oscillation and makes the objective monotone. One-sided positive-gain
+// extras then use the ε headroom. Fully deterministic.
+func (b *bisection) applyExact(iter int) int64 {
+	_ = iter
+	type cand struct {
+		v    int32
+		gain float64
+	}
+	var queues [2][]cand
+	for v := 0; v < b.g.NumData(); v++ {
+		queues[b.side[v]] = append(queues[b.side[v]], cand{int32(v), b.gains[v]})
+	}
+	for s := 0; s < 2; s++ {
+		q := queues[s]
+		sort.Slice(q, func(i, j int) bool {
+			if q[i].gain != q[j].gain {
+				return q[i].gain > q[j].gain
+			}
+			return q[i].v < q[j].v
+		})
+	}
+	var moved int64
+	i, j := 0, 0
+	for i < len(queues[0]) && j < len(queues[1]) {
+		// Stop once even the stale (optimistic upper-bound order) sums are
+		// non-positive.
+		if queues[0][i].gain+queues[1][j].gain <= 0 {
+			break
+		}
+		u, v := queues[0][i].v, queues[1][j].v
+		i++
+		j++
+		// Both vertices may have been affected by earlier moves in this
+		// pass; re-evaluate before committing.
+		gu := b.freshGain(u)
+		gv := b.freshGain(v)
+		if gu+gv <= 0 {
+			continue
+		}
+		b.moveExact(u)
+		b.moveExact(v)
+		moved += 2
+	}
+	// One-sided extras: positive-gain leftovers into the other side's
+	// remaining headroom.
+	for s := 0; s < 2; s++ {
+		oth := 1 - s
+		idx := i
+		if s == 1 {
+			idx = j
+		}
+		for ; idx < len(queues[s]); idx++ {
+			if queues[s][idx].gain <= 0 {
+				break
+			}
+			v := queues[s][idx].v
+			wv := float64(b.g.DataWeight(v))
+			if float64(b.w[oth])+wv > b.capW[oth] {
+				break
+			}
+			if b.freshGain(v) <= 0 {
+				continue
+			}
+			b.moveExact(v)
+			moved++
+		}
+	}
+	return moved
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"time"
+
+	"shp/internal/partition"
+)
+
+// IterStats records one refinement iteration for convergence analysis
+// (Figure 7 of the paper plots these series).
+type IterStats struct {
+	// Level is the recursion level (0-based) for recursive mode, or 0 for
+	// direct mode.
+	Level int
+	// Task identifies the bisection subproblem within the level by the
+	// first bucket of its range; 0 in direct mode.
+	Task int
+	// Iter is the iteration index within the refinement, 0-based.
+	Iter int
+	// Objective is the optimized objective value on the subproblem after
+	// the iteration (sum over its queries, not normalized).
+	Objective float64
+	// Moved is the number of data vertices that changed bucket.
+	Moved int64
+	// MovedFraction is Moved divided by the subproblem size.
+	MovedFraction float64
+	// Fanout is the global average fanout after the iteration; only filled
+	// when Options.TrackFanout is set (direct mode).
+	Fanout float64
+}
+
+// Result is a finished partitioning.
+type Result struct {
+	// Assignment maps each data vertex to its bucket in [0, K).
+	Assignment partition.Assignment
+	// K is the bucket count.
+	K int
+	// Iterations is the total number of refinement iterations across all
+	// levels and subproblems.
+	Iterations int
+	// History holds per-iteration statistics ordered by (Level, Task, Iter).
+	History []IterStats
+	// Elapsed is the wall-clock partitioning time.
+	Elapsed time.Duration
+}

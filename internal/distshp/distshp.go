@@ -1,0 +1,536 @@
+// Package distshp implements the paper's distributed SHP: recursive
+// bisection driven entirely inside the vertex-centric model (Sections 3.2
+// and 3.3, Figure 3), running on the pregel engine.
+//
+// Each refinement iteration is four supersteps with barriers between them:
+//
+//	superstep 0: data vertices send their (changed) bucket to adjacent
+//	             queries, which maintain neighbor data incrementally;
+//	superstep 1: queries send each adjacent data vertex the two neighbor-
+//	             data entries relevant to its sibling pair (at most r = 2
+//	             values, the recursive-partitioning reduction of Sec. 3.3);
+//	superstep 2: data vertices compute Equation 1 move gains and propose
+//	             (direction, gain) to the master through an aggregator;
+//	superstep 3: the master's per-pair histogram matching produces move
+//	             probabilities, broadcast via an aggregator; data vertices
+//	             flip their coins and move.
+//
+// Recursive levels are scheduled by the master: when a level converges
+// (moved fraction below threshold) or exhausts its iterations, every data
+// vertex splits its bucket b into 2b or 2b+1 and the next level begins.
+// K must be a power of two (the configuration the paper's distributed
+// experiments use).
+package distshp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"shp/internal/core"
+	"shp/internal/hypergraph"
+	"shp/internal/partition"
+	"shp/internal/pregel"
+	"shp/internal/rng"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	// K is the number of buckets; must be a power of two, >= 2.
+	K int
+	// Epsilon is the allowed imbalance (default 0.05). Distributed SHP
+	// preserves balance in expectation, exactly as the paper's protocol.
+	Epsilon float64
+	// P is the fanout probability (default 0.5).
+	P float64
+	// ItersPerLevel bounds refinement iterations per bisection level
+	// (default 20, the paper's SHP-2 setting).
+	ItersPerLevel int
+	// MinMoveFraction advances to the next level early when the moved
+	// fraction drops below it (default 0.001).
+	MinMoveFraction float64
+	// Workers is the number of simulated machines (default 4, the paper's
+	// cluster size).
+	Workers int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// DisableLookahead turns off the final-p-fanout approximation.
+	DisableLookahead bool
+	// DisableDirtyOnly makes data vertices re-send their bucket to queries
+	// every iteration instead of only after moves (ablation of the
+	// neighbor-data caching optimization from Section 3.3).
+	DisableDirtyOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.P == 0 {
+		o.P = 0.5
+	}
+	if o.ItersPerLevel == 0 {
+		o.ItersPerLevel = 20
+	}
+	if o.MinMoveFraction == 0 {
+		o.MinMoveFraction = 0.001
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// Result is a finished distributed partitioning.
+type Result struct {
+	Assignment partition.Assignment
+	K          int
+	// Levels actually executed (log2 K).
+	Levels int
+	// Iterations across all levels.
+	Iterations int
+	// Engine statistics: per-superstep message and byte counts.
+	Stats *pregel.Stats
+	// Elapsed wall-clock time.
+	Elapsed time.Duration
+	// TotalTime is Elapsed multiplied by the worker count: the paper's
+	// "total time" metric (Figure 5).
+	TotalTime time.Duration
+}
+
+// message kinds exchanged between vertices.
+type (
+	// msgBucket: data -> query, "I am now in bucket New (was Old)".
+	msgBucket struct {
+		Data  int32
+		Old   int32 // -1 on (re-)registration at a level start
+		New   int32
+		Level int
+	}
+	// msgND: query -> data, the two neighbor-data entries for the
+	// receiver's sibling pair.
+	msgND struct {
+		N0, N1 int32 // counts in sibling buckets (2b, 2b+1)... relative to pair
+	}
+)
+
+// dataState is the per-data-vertex state.
+type dataState struct {
+	d      int32
+	bucket int32 // bucket id within the current level, in [0, 2^(level+1))
+	moved  bool  // moved in the previous iteration (drives dirty-only sends)
+	level  int
+	// Gain for moving to the sibling bucket, computed in superstep 2.
+	gain float64
+}
+
+// queryState is the per-query-vertex state: the paper's "neighbor data".
+type queryState struct {
+	q          int32
+	level      int
+	counts     map[int32]int32 // bucket -> count of adjacent data there
+	dataBucket map[int32]int32 // data id -> last known bucket
+}
+
+// proposalAgg aggregates per-direction gain histograms for the master.
+// Key is direction: bucket*2 + side (side 0 = moving to even sibling).
+type proposalAgg struct {
+	hists map[uint64]*histPair
+}
+
+type histPair struct {
+	hist core.DirHist
+}
+
+func newProposalAgg() pregel.Aggregator { return &proposalAgg{hists: map[uint64]*histPair{}} }
+
+// Add folds a proposal (key uint64, gain float64) packed in a [2]interface{}.
+func (a *proposalAgg) Add(v interface{}) {
+	p := v.(proposal)
+	h, ok := a.hists[p.key]
+	if !ok {
+		h = &histPair{}
+		a.hists[p.key] = h
+	}
+	h.hist.Add(p.gain)
+}
+
+// Merge folds another proposalAgg in.
+func (a *proposalAgg) Merge(o pregel.Aggregator) {
+	for key, h := range o.(*proposalAgg).hists {
+		if mine, ok := a.hists[key]; ok {
+			mine.hist.Merge(&h.hist)
+		} else {
+			a.hists[key] = h
+		}
+	}
+}
+
+// Value returns the histogram map.
+func (a *proposalAgg) Value() interface{} { return a.hists }
+
+type proposal struct {
+	key  uint64
+	gain float64
+}
+
+// weightAgg aggregates per-bucket weights (for the master's ε headroom).
+type weightAgg struct{ w map[int32]int64 }
+
+func newWeightAgg() pregel.Aggregator { return &weightAgg{w: map[int32]int64{}} }
+
+// Add folds a (bucket, weight) sample in.
+func (a *weightAgg) Add(v interface{}) {
+	s := v.(bucketWeight)
+	a.w[s.bucket] += s.weight
+}
+
+// Merge folds another weightAgg in.
+func (a *weightAgg) Merge(o pregel.Aggregator) {
+	for b, w := range o.(*weightAgg).w {
+		a.w[b] += w
+	}
+}
+
+// Value returns the weight map.
+func (a *weightAgg) Value() interface{} { return a.w }
+
+type bucketWeight struct {
+	bucket int32
+	weight int64
+}
+
+// probsValue is what the master broadcasts: per-direction probability
+// tables.
+type probsValue map[uint64]*core.ProbTable
+
+// Partition runs distributed SHP-2 on g.
+func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.K < 2 || opts.K&(opts.K-1) != 0 {
+		return nil, fmt.Errorf("distshp: K must be a power of two >= 2, got %d", opts.K)
+	}
+	if g.NumData() == 0 {
+		return nil, errors.New("distshp: empty graph")
+	}
+	start := time.Now()
+
+	levels := 0
+	for 1<<levels < opts.K {
+		levels++
+	}
+	numD := g.NumData()
+	maxN := g.MaxQueryDegree()
+
+	// Gain tables per level (lookahead t halves as levels deepen).
+	tables := make([]core.GainTables, levels)
+	for l := 0; l < levels; l++ {
+		t := 1
+		if !opts.DisableLookahead {
+			t = opts.K >> (l + 1)
+		}
+		tables[l] = core.NewPFanoutTables(opts.P, t, maxN)
+	}
+
+	// Master-side schedule state.
+	type schedule struct {
+		level      int
+		iter       int
+		phase      int // which of the 4 supersteps comes next
+		iterations int
+	}
+	sched := &schedule{}
+	idealPerBucket := float64(g.TotalDataWeight()) / float64(opts.K)
+
+	vertices := make([]*pregel.Vertex, 0, numD+g.NumQueries())
+	for d := 0; d < numD; d++ {
+		vertices = append(vertices, &pregel.Vertex{
+			ID:    pregel.VertexID(d),
+			State: &dataState{d: int32(d), bucket: -1, level: -1},
+		})
+	}
+	for q := 0; q < g.NumQueries(); q++ {
+		vertices = append(vertices, &pregel.Vertex{
+			ID: pregel.VertexID(numD + q),
+			State: &queryState{
+				q:          int32(q),
+				level:      -1,
+				counts:     map[int32]int32{},
+				dataBucket: map[int32]int32{},
+			},
+		})
+	}
+
+	maxSupersteps := levels*opts.ItersPerLevel*4 + 8
+
+	compute := func(ctx *pregel.Context, v *pregel.Vertex, msgs []pregel.Message) {
+		switch st := v.State.(type) {
+		case *dataState:
+			computeData(ctx, g, st, msgs, opts, tables)
+		case *queryState:
+			computeQuery(ctx, g, st, msgs)
+		}
+	}
+
+	master := func(step int, agg map[string]interface{}) (bool, map[string]interface{}) {
+		set := map[string]interface{}{}
+		phase := sched.phase
+		switch phase {
+		case 2:
+			// Proposals are in: match histograms pair by pair.
+			probs := probsValue{}
+			var hists map[uint64]*histPair
+			if v, ok := agg["proposals"]; ok {
+				hists = v.(map[uint64]*histPair)
+			}
+			var weights map[int32]int64
+			if v, ok := agg["weights"]; ok {
+				weights = v.(map[int32]int64)
+			}
+			eps := opts.Epsilon * float64(sched.level+1) / float64(levels)
+			t := opts.K >> (sched.level + 1)
+			cap0 := idealPerBucket * float64(t) * (1 + eps)
+			var empty histPair
+			for key, h := range hists {
+				if _, done := probs[key]; done {
+					continue
+				}
+				rkey := key ^ 1 // opposite direction of the same pair
+				rh := hists[rkey]
+				if rh == nil {
+					rh = &empty
+				}
+				// directionKey(b) == b: the direction "from b to its
+				// sibling" is identified by b itself, so direction key
+				// receives into bucket key^1 and vice versa.
+				dstA := int32(uint32(key ^ 1))
+				dstB := int32(uint32(key))
+				extraA := int64(0)
+				extraB := int64(0)
+				if weights != nil {
+					if head := cap0 - float64(weights[dstA]); head > 0 {
+						extraA = int64(head * 0.9)
+					}
+					if head := cap0 - float64(weights[dstB]); head > 0 {
+						extraB = int64(head * 0.9)
+					}
+				}
+				pa, pb := core.MatchHistograms(&h.hist, &rh.hist, extraA, extraB)
+				probs[key] = &pa
+				if rh != &empty {
+					probs[rkey] = &pb
+				}
+			}
+			set["probs"] = probs
+			set["level"] = sched.level
+			set["iter"] = sched.iter
+			sched.phase = 3
+			return false, set
+		case 3:
+			// Moves applied; decide whether to advance level.
+			moved := int64(0)
+			if v, ok := agg["moved"]; ok {
+				moved = v.(int64)
+			}
+			sched.iterations++
+			sched.iter++
+			frac := float64(moved) / float64(numD)
+			if sched.iter >= opts.ItersPerLevel || frac < opts.MinMoveFraction {
+				sched.level++
+				sched.iter = 0
+				if sched.level >= levels {
+					return true, nil
+				}
+			}
+			sched.phase = 0
+			set["level"] = sched.level
+			set["iter"] = sched.iter
+			return false, set
+		default:
+			sched.phase = phase + 1
+			set["level"] = sched.level
+			set["iter"] = sched.iter
+			return false, set
+		}
+	}
+
+	eng, err := pregel.NewEngine(pregel.Options{
+		Workers:       opts.Workers,
+		Compute:       compute,
+		Master:        master,
+		MaxSupersteps: maxSupersteps,
+		Aggregators: map[string]pregel.AggregatorDef{
+			"proposals": {New: newProposalAgg},
+			"weights":   {New: newWeightAgg},
+			"moved":     {New: func() pregel.Aggregator { return &pregel.CountAggregator{} }},
+		},
+		MessageBytes: func(m pregel.Message) int {
+			switch m.(type) {
+			case msgBucket:
+				return 12
+			case msgND:
+				return 8
+			default:
+				return 8
+			}
+		},
+	}, vertices)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	assignment := make(partition.Assignment, numD)
+	for d := 0; d < numD; d++ {
+		st := eng.Vertex(pregel.VertexID(d)).State.(*dataState)
+		b := st.bucket
+		// The final level's buckets are the result. If the run stopped at
+		// level L, bucket ids are already in [0, 2^L) = [0, K).
+		assignment[d] = b
+	}
+	elapsed := time.Since(start)
+	return &Result{
+		Assignment: assignment,
+		K:          opts.K,
+		Levels:     levels,
+		Iterations: sched.iterations,
+		Stats:      stats,
+		Elapsed:    elapsed,
+		TotalTime:  elapsed * time.Duration(opts.Workers),
+	}, nil
+}
+
+// computeData is the data-vertex program.
+func computeData(ctx *pregel.Context, g *hypergraph.Bipartite, st *dataState,
+	msgs []pregel.Message, opts Options, tables []core.GainTables) {
+
+	phase := ctx.Superstep() % 4
+	level := 0
+	if v := ctx.ReadAggregator("level"); v != nil {
+		level = v.(int)
+	}
+	iter := 0
+	if v := ctx.ReadAggregator("iter"); v != nil {
+		iter = v.(int)
+	}
+	switch phase {
+	case 0:
+		if level != st.level {
+			// Level start: split my bucket. Level 0: bucket = coin in {0,1};
+			// deeper: bucket = 2*old + coin.
+			old := st.bucket
+			base := int32(0)
+			if st.level >= 0 && old >= 0 {
+				base = old * 2
+			}
+			coin := int32(0)
+			if rng.CoinAt(opts.Seed^0x51DE, rng.Mix(uint64(level)+1, uint64(st.d))) >= 0.5 {
+				coin = 1
+			}
+			st.bucket = base + coin
+			st.level = level
+			st.moved = false
+			// (Re-)register with all queries.
+			for _, q := range g.DataNeighbors(st.d) {
+				ctx.Send(pregel.VertexID(g.NumData()+int(q)), msgBucket{Data: st.d, Old: -1, New: st.bucket, Level: level})
+			}
+		} else if st.moved || opts.DisableDirtyOnly {
+			oldSibling := st.bucket ^ 1
+			old := oldSibling
+			if !st.moved {
+				old = st.bucket
+			}
+			for _, q := range g.DataNeighbors(st.d) {
+				ctx.Send(pregel.VertexID(g.NumData()+int(q)), msgBucket{Data: st.d, Old: old, New: st.bucket, Level: level})
+			}
+			st.moved = false
+		}
+	case 1:
+		// Queries act; data idles.
+	case 2:
+		// Receive neighbor data, compute the Equation 1 gain for moving to
+		// the sibling bucket, and propose.
+		tb := tables[level]
+		sumCur, sumOth := 0.0, 0.0
+		side := st.bucket & 1
+		for _, m := range msgs {
+			nd := m.(msgND)
+			nCur, nOth := nd.N0, nd.N1
+			if side == 1 {
+				nCur, nOth = nd.N1, nd.N0
+			}
+			sumCur += tb.T[nCur-1]
+			sumOth += tb.T[nOth]
+		}
+		st.gain = tb.Mult() * (sumCur - sumOth)
+		ctx.Aggregate("proposals", proposal{key: directionKey(st.bucket), gain: st.gain})
+		ctx.Aggregate("weights", bucketWeight{bucket: st.bucket, weight: int64(g.DataWeight(st.d))})
+	case 3:
+		// Read the master's probabilities and maybe move.
+		var probs probsValue
+		if v := ctx.ReadAggregator("probs"); v != nil {
+			probs = v.(probsValue)
+		}
+		pt := probs[directionKey(st.bucket)]
+		if pt == nil {
+			return
+		}
+		p := pt.ProbFor(st.gain)
+		if p <= 0 {
+			return
+		}
+		key := rng.Mix(rng.Mix(uint64(level)+1, uint64(iter)+1), uint64(st.d))
+		if p >= 1 || rng.CoinAt(opts.Seed^0x30E5, key) < p {
+			st.bucket ^= 1
+			st.moved = true
+			ctx.Aggregate("moved", int64(1))
+		}
+	}
+}
+
+// directionKey identifies the direction "from bucket b to its sibling".
+// Because the pair is (b &^ 1, b | 1), the source bucket id itself is a
+// collision-free key, and the opposite direction is key ^ 1.
+func directionKey(bucket int32) uint64 {
+	return uint64(uint32(bucket))
+}
+
+// computeQuery is the query-vertex program: maintain neighbor data
+// incrementally (superstep 0's messages) and distribute the per-pair counts
+// (superstep 1).
+func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState, msgs []pregel.Message) {
+	phase := ctx.Superstep() % 4
+	level := 0
+	if v := ctx.ReadAggregator("level"); v != nil {
+		level = v.(int)
+	}
+	switch phase {
+	case 1:
+		if level != st.level {
+			// Level changed: rebuild from the registration messages.
+			st.level = level
+			st.counts = map[int32]int32{}
+			st.dataBucket = map[int32]int32{}
+		}
+		for _, m := range msgs {
+			mb := m.(msgBucket)
+			if prev, ok := st.dataBucket[mb.Data]; ok {
+				st.counts[prev]--
+				if st.counts[prev] == 0 {
+					delete(st.counts, prev)
+				}
+			}
+			st.dataBucket[mb.Data] = mb.New
+			st.counts[mb.New]++
+		}
+		// Send each adjacent data vertex its sibling pair's counts.
+		for d, b := range st.dataBucket {
+			pair := b &^ 1
+			nd := msgND{N0: st.counts[pair], N1: st.counts[pair|1]}
+			ctx.Send(pregel.VertexID(int(d)), nd)
+		}
+	}
+}

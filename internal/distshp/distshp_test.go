@@ -1,0 +1,189 @@
+package distshp
+
+import (
+	"testing"
+
+	"shp/internal/core"
+	"shp/internal/hypergraph"
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+func randomBipartite(tb testing.TB, seed uint64, numQ, numD, edges int) *hypergraph.Bipartite {
+	tb.Helper()
+	r := rng.New(seed)
+	b := hypergraph.NewBuilder(numQ, numD)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(int32(r.Intn(numQ)), int32(r.Intn(numD)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func plantedGraph(tb testing.TB, communities, perCommunity, queries, qdeg int) *hypergraph.Bipartite {
+	tb.Helper()
+	r := rng.New(1234)
+	nd := communities * perCommunity
+	b := hypergraph.NewBuilder(queries, nd)
+	for q := 0; q < queries; q++ {
+		c := q % communities
+		for e := 0; e < qdeg; e++ {
+			b.AddEdge(int32(q), int32(c*perCommunity+r.Intn(perCommunity)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionValidAndBalanced(t *testing.T) {
+	g := randomBipartite(t, 7, 300, 500, 3000)
+	res, err := Partition(g, Options{K: 4, Seed: 1, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Distributed SHP preserves balance in expectation only (like the
+	// paper); allow CLT-scale tolerance on this small graph.
+	if imb := partition.Imbalance(res.Assignment, 4); imb > 0.30 {
+		t.Fatalf("imbalance %v too large even for in-expectation balance", imb)
+	}
+	if res.Levels != 2 {
+		t.Fatalf("Levels = %d, want 2", res.Levels)
+	}
+	if res.Stats == nil || res.Stats.Supersteps == 0 {
+		t.Fatal("missing engine stats")
+	}
+}
+
+func TestPartitionReducesFanout(t *testing.T) {
+	g := plantedGraph(t, 4, 120, 600, 6)
+	randomF := partition.Fanout(g, partition.Random(480, 4, 3), 4)
+	res, err := Partition(g, Options{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := partition.Fanout(g, res.Assignment, 4)
+	if f >= randomF*0.7 {
+		t.Fatalf("distributed SHP fanout %v did not improve enough over random %v on planted communities", f, randomF)
+	}
+}
+
+func TestMatchesSingleMachineQuality(t *testing.T) {
+	// The distributed and single-machine implementations run the same
+	// algorithm; their fanout should land in the same ballpark.
+	g := plantedGraph(t, 8, 60, 600, 5)
+	dres, err := Partition(g, Options{K: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := core.Partition(g, core.Options{K: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := partition.Fanout(g, dres.Assignment, 8)
+	sf := partition.Fanout(g, sres.Assignment, 8)
+	if df > sf*1.5+0.5 {
+		t.Fatalf("distributed fanout %v much worse than single-machine %v", df, sf)
+	}
+}
+
+func TestWorkerCountInvariantResult(t *testing.T) {
+	g := randomBipartite(t, 11, 200, 300, 1500)
+	a, err := Partition(g, Options{K: 4, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, Options{K: 4, Seed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("worker count changed assignment at vertex %d", i)
+		}
+	}
+}
+
+func TestDirtyOnlyReducesMessages(t *testing.T) {
+	g := randomBipartite(t, 13, 400, 600, 4000)
+	withCaching, err := Partition(g, Options{K: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutCaching, err := Partition(g, Options{K: 4, Seed: 6, DisableDirtyOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCaching.Stats.TotalMessages >= withoutCaching.Stats.TotalMessages {
+		t.Fatalf("dirty-only caching did not reduce messages: %d vs %d",
+			withCaching.Stats.TotalMessages, withoutCaching.Stats.TotalMessages)
+	}
+}
+
+func TestCommunicationBoundedByFanoutTimesEdges(t *testing.T) {
+	// Section 3.3: superstep 2 sends at most one (pair-sized) ND message
+	// per edge per iteration, so total traffic is O(|E|) per iteration.
+	g := randomBipartite(t, 17, 300, 400, 2500)
+	res, err := Partition(g, Options{K: 2, Seed: 7, ItersPerLevel: 5, DisableDirtyOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := float64(res.Stats.TotalMessages) / float64(res.Iterations)
+	bound := 2.5 * float64(g.NumEdges()) // bucket sends + ND sends + slack
+	if perIter > bound {
+		t.Fatalf("messages per iteration %v exceed O(|E|) bound %v", perIter, bound)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	g := randomBipartite(t, 1, 10, 10, 30)
+	for _, k := range []int{0, 1, 3, 6, 100} {
+		if _, err := Partition(g, Options{K: k}); err == nil {
+			t.Errorf("K=%d should be rejected (not a power of two >= 2)", k)
+		}
+	}
+	empty, _ := hypergraph.FromEdges(0, 0, nil)
+	if _, err := Partition(empty, Options{K: 2}); err == nil {
+		t.Error("empty graph should be rejected")
+	}
+}
+
+func TestTotalTimeScalesWithWorkers(t *testing.T) {
+	g := randomBipartite(t, 19, 100, 150, 800)
+	res, err := Partition(g, Options{K: 2, Seed: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime != res.Elapsed*4 {
+		t.Fatalf("TotalTime %v != Elapsed %v * 4", res.TotalTime, res.Elapsed)
+	}
+}
+
+func TestLargeK(t *testing.T) {
+	g := randomBipartite(t, 23, 500, 1024, 4000)
+	res, err := Partition(g, Options{K: 32, Seed: 9, ItersPerLevel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(32); err != nil {
+		t.Fatal(err)
+	}
+	sizes := partition.BucketSizes(res.Assignment, 32)
+	empties := 0
+	for _, s := range sizes {
+		if s == 0 {
+			empties++
+		}
+	}
+	if empties > 3 {
+		t.Fatalf("%d of 32 buckets empty", empties)
+	}
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"shp/internal/core"
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+func TestPowerLawBipartiteShape(t *testing.T) {
+	g, err := PowerLawBipartite(2000, 3000, 20000, 2.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != 2000 || g.NumData() != 3000 {
+		t.Fatalf("shape Q=%d D=%d", g.NumQueries(), g.NumData())
+	}
+	// Edge count should land within a factor of the target (dedup and the
+	// min-degree floor move it).
+	if g.NumEdges() < 8000 || g.NumEdges() > 50000 {
+		t.Fatalf("edges = %d, want near 20000", g.NumEdges())
+	}
+	s := g.ComputeStats()
+	// Power law: max degree far above average.
+	if float64(s.MaxQueryDeg) < 4*s.AvgQueryDeg {
+		t.Fatalf("degree distribution not skewed: max %d avg %v", s.MaxQueryDeg, s.AvgQueryDeg)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a, err := PowerLawBipartite(100, 200, 1000, 2.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLawBipartite(100, 200, 1000, 2.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("generator not deterministic")
+	}
+	c, err := PowerLawBipartite(100, 200, 1000, 2.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() == c.NumEdges() {
+		ae, ce := a.Edges(), c.Edges()
+		same := len(ae) == len(ce)
+		if same {
+			for i := range ae {
+				if ae[i] != ce[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	if _, err := PowerLawBipartite(0, 10, 100, 2.0, 1); err == nil {
+		t.Fatal("expected error for zero queries")
+	}
+	if _, err := PowerLawBipartite(10, 0, 100, 2.0, 1); err == nil {
+		t.Fatal("expected error for zero data")
+	}
+}
+
+func TestSocialEgoNetsShape(t *testing.T) {
+	g, err := SocialEgoNets(2000, 12, 50, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != 2000 || g.NumData() != 2000 {
+		t.Fatal("ego-net graph should have one query and one data vertex per user")
+	}
+	s := g.ComputeStats()
+	if s.AvgQueryDeg < 6 || s.AvgQueryDeg > 30 {
+		t.Fatalf("average ego-net size %v far from configured 12", s.AvgQueryDeg)
+	}
+}
+
+func TestSocialEgoNetsCommunitiesArePartitionable(t *testing.T) {
+	// The planted communities must be discoverable: SHP should beat random
+	// fanout by a wide margin.
+	g, err := SocialEgoNets(1600, 10, 100, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	randomF := partition.Fanout(g, partition.Random(g.NumData(), k, 1), k)
+	res, err := core.Partition(g, core.Options{K: k, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := partition.Fanout(g, res.Assignment, k)
+	if f > randomF*0.7 {
+		t.Fatalf("SHP fanout %v vs random %v: communities not exploitable", f, randomF)
+	}
+}
+
+func TestSocialEgoNetsErrors(t *testing.T) {
+	if _, err := SocialEgoNets(0, 10, 10, 0.5, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := SocialEgoNets(10, 10, 10, 1.5, 1); err == nil {
+		t.Fatal("expected error for intraProb > 1")
+	}
+}
+
+func TestPlantedPartitionPuritySeparable(t *testing.T) {
+	g, err := PlantedPartition(4, 100, 600, 5, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := GroundTruth(4, 100)
+	f := partition.Fanout(g, truth, 4)
+	if math.Abs(f-1) > 1e-9 {
+		t.Fatalf("pure planted partition should have fanout 1 under ground truth, got %v", f)
+	}
+}
+
+func TestPlantedPartitionRecoverable(t *testing.T) {
+	g, err := PlantedPartition(4, 100, 800, 6, 0.95, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(g, core.Options{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthF := partition.Fanout(g, GroundTruth(4, 100), 4)
+	shpF := partition.Fanout(g, res.Assignment, 4)
+	if shpF > truthF*1.3 {
+		t.Fatalf("SHP fanout %v far above planted optimum %v", shpF, truthF)
+	}
+}
+
+func TestPlantedPartitionErrors(t *testing.T) {
+	if _, err := PlantedPartition(0, 1, 1, 1, 0.5, 1); err == nil {
+		t.Fatal("expected parameter error")
+	}
+	if _, err := PlantedPartition(2, 10, 10, 2, -0.1, 1); err == nil {
+		t.Fatal("expected purity error")
+	}
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := newAlias(weights, rng.New(9))
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[a.sample()]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > want*0.1 {
+			t.Fatalf("alias sampling off for weight %d: got %d want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestGroundTruthShape(t *testing.T) {
+	gt := GroundTruth(3, 4)
+	if len(gt) != 12 || gt[0] != 0 || gt[11] != 2 {
+		t.Fatalf("ground truth = %v", gt)
+	}
+}

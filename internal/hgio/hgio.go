@@ -1,0 +1,303 @@
+// Package hgio reads and writes hypergraphs and partition assignments.
+//
+// Two on-disk formats are supported:
+//
+//   - The hMetis/PaToH ".hgr" format used by the partitioners the paper
+//     compares against: a header line "numHyperedges numVertices [fmt]"
+//     followed by one line per hyperedge listing 1-indexed vertex ids.
+//     fmt 10 appends one vertex-weight line per vertex after the hyperedges.
+//   - A plain bipartite edge list ("q d" per line, 0-indexed) with an
+//     optional "%% q=<n> d=<m>" header; without the header, sizes are
+//     inferred from the maximum ids.
+//
+// Assignments are stored one bucket id per line, data vertex order.
+package hgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"shp/internal/hypergraph"
+)
+
+// ReadHMetis parses the hMetis hypergraph format.
+func ReadHMetis(r io.Reader) (*hypergraph.Bipartite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	line, err := nextContentLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("hgio: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("hgio: malformed header %q", line)
+	}
+	numQ, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("hgio: bad hyperedge count: %w", err)
+	}
+	numD, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("hgio: bad vertex count: %w", err)
+	}
+	format := 0
+	if len(fields) == 3 {
+		format, err = strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("hgio: bad format flag: %w", err)
+		}
+	}
+	edgeWeighted := format == 1 || format == 11
+	vertexWeighted := format == 10 || format == 11
+
+	b := hypergraph.NewBuilder(numQ, numD)
+	var qWeights []int32
+	if edgeWeighted {
+		qWeights = make([]int32, numQ)
+	}
+	for q := 0; q < numQ; q++ {
+		// Empty lines are valid here: they encode empty hyperedges, so only
+		// comment lines are skipped (unlike the header).
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: hyperedge %d: %w", q+1, err)
+		}
+		fs := strings.Fields(line)
+		start := 0
+		if edgeWeighted {
+			if len(fs) == 0 {
+				return nil, fmt.Errorf("hgio: hyperedge %d: missing weight", q+1)
+			}
+			wv, err := strconv.Atoi(fs[0])
+			if err != nil || wv < 1 {
+				return nil, fmt.Errorf("hgio: hyperedge %d: bad weight %q", q+1, fs[0])
+			}
+			qWeights[q] = int32(wv)
+			start = 1
+		}
+		for _, f := range fs[start:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: hyperedge %d: bad vertex %q", q+1, f)
+			}
+			if v < 1 || v > numD {
+				return nil, fmt.Errorf("hgio: hyperedge %d: vertex %d out of range [1,%d]", q+1, v, numD)
+			}
+			b.AddEdge(int32(q), int32(v-1))
+		}
+	}
+	if edgeWeighted {
+		b.SetQueryWeights(qWeights)
+	}
+	if vertexWeighted {
+		weights := make([]int32, numD)
+		for d := 0; d < numD; d++ {
+			line, err := nextContentLine(sc)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: vertex weight %d: %w", d+1, err)
+			}
+			w, err := strconv.Atoi(strings.TrimSpace(line))
+			if err != nil {
+				return nil, fmt.Errorf("hgio: vertex weight %d: %w", d+1, err)
+			}
+			weights[d] = int32(w)
+		}
+		b.SetDataWeights(weights)
+	}
+	return b.Build()
+}
+
+// WriteHMetis writes g in the hMetis format (fmt 1 with hyperedge weights,
+// 10 with vertex weights, 11 with both).
+func WriteHMetis(w io.Writer, g *hypergraph.Bipartite) error {
+	bw := bufio.NewWriter(w)
+	format := ""
+	switch {
+	case g.Weighted() && g.QueryWeighted():
+		format = " 11"
+	case g.Weighted():
+		format = " 10"
+	case g.QueryWeighted():
+		format = " 1"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", g.NumQueries(), g.NumData(), format); err != nil {
+		return err
+	}
+	for q := 0; q < g.NumQueries(); q++ {
+		if g.QueryWeighted() {
+			if _, err := fmt.Fprintf(bw, "%d ", g.QueryWeight(int32(q))); err != nil {
+				return err
+			}
+		}
+		ns := g.QueryNeighbors(int32(q))
+		for i, d := range ns {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(d) + 1)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for d := 0; d < g.NumData(); d++ {
+			if _, err := fmt.Fprintln(bw, g.DataWeight(int32(d))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the bipartite edge-list format.
+func ReadEdgeList(r io.Reader) (*hypergraph.Bipartite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var edges []hypergraph.Edge
+	numQ, numD := -1, -1
+	maxQ, maxD := int32(-1), int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "%%") {
+			for _, f := range strings.Fields(line[2:]) {
+				if v, ok := strings.CutPrefix(f, "q="); ok {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("hgio: line %d: bad q=: %w", lineNo, err)
+					}
+					numQ = n
+				}
+				if v, ok := strings.CutPrefix(f, "d="); ok {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("hgio: line %d: bad d=: %w", lineNo, err)
+					}
+					numD = n
+				}
+			}
+			continue
+		}
+		fs := strings.Fields(line)
+		if len(fs) != 2 {
+			return nil, fmt.Errorf("hgio: line %d: want 'q d', got %q", lineNo, line)
+		}
+		q, err := strconv.Atoi(fs[0])
+		if err != nil {
+			return nil, fmt.Errorf("hgio: line %d: %w", lineNo, err)
+		}
+		d, err := strconv.Atoi(fs[1])
+		if err != nil {
+			return nil, fmt.Errorf("hgio: line %d: %w", lineNo, err)
+		}
+		if q < 0 || d < 0 {
+			return nil, fmt.Errorf("hgio: line %d: negative id", lineNo)
+		}
+		edges = append(edges, hypergraph.Edge{Q: int32(q), D: int32(d)})
+		if int32(q) > maxQ {
+			maxQ = int32(q)
+		}
+		if int32(d) > maxD {
+			maxD = int32(d)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numQ < 0 {
+		numQ = int(maxQ) + 1
+	}
+	if numD < 0 {
+		numD = int(maxD) + 1
+	}
+	return hypergraph.FromEdges(numQ, numD, edges)
+}
+
+// WriteEdgeList writes g in the bipartite edge-list format with a size header.
+func WriteEdgeList(w io.Writer, g *hypergraph.Bipartite) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%% q=%d d=%d\n", g.NumQueries(), g.NumData()); err != nil {
+		return err
+	}
+	for q := 0; q < g.NumQueries(); q++ {
+		for _, d := range g.QueryNeighbors(int32(q)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", q, d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAssignment writes one bucket id per data vertex per line.
+func WriteAssignment(w io.Writer, assignment []int32) error {
+	bw := bufio.NewWriter(w)
+	for _, b := range assignment {
+		if _, err := fmt.Fprintln(bw, b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAssignment reads an assignment written by WriteAssignment.
+func ReadAssignment(r io.Reader) ([]int32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var out []int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: line %d: %w", lineNo, err)
+		}
+		out = append(out, int32(v))
+	}
+	return out, sc.Err()
+}
+
+func nextContentLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// nextLine returns the next non-comment line, preserving empty lines.
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

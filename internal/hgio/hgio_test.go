@@ -1,0 +1,248 @@
+package hgio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"shp/internal/hypergraph"
+	"shp/internal/rng"
+)
+
+func TestReadHMetisBasic(t *testing.T) {
+	in := "% a comment\n3 6\n1 2 6\n1 2 3 4\n4 5 6\n"
+	g, err := ReadHMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != 3 || g.NumData() != 6 || g.NumEdges() != 10 {
+		t.Fatalf("shape Q=%d D=%d E=%d", g.NumQueries(), g.NumData(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.QueryNeighbors(0), []int32{0, 1, 5}) {
+		t.Fatalf("query 0 = %v", g.QueryNeighbors(0))
+	}
+}
+
+func TestReadHMetisVertexWeights(t *testing.T) {
+	in := "2 3 10\n1 2\n2 3\n5\n6\n7\n"
+	g, err := ReadHMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || g.DataWeight(0) != 5 || g.DataWeight(2) != 7 {
+		t.Fatal("vertex weights not parsed")
+	}
+}
+
+func TestReadHMetisEdgeWeights(t *testing.T) {
+	in := "2 3 1\n9 1 2\n4 2 3\n"
+	g, err := ReadHMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edge-weighted parse wrong: %d edges", g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.QueryNeighbors(0), []int32{0, 1}) {
+		t.Fatalf("query 0 = %v", g.QueryNeighbors(0))
+	}
+	if !g.QueryWeighted() || g.QueryWeight(0) != 9 || g.QueryWeight(1) != 4 {
+		t.Fatalf("hyperedge weights not parsed: %d %d", g.QueryWeight(0), g.QueryWeight(1))
+	}
+}
+
+func TestHMetisQueryWeightedRoundTrip(t *testing.T) {
+	g, err := hypergraph.NewBuilder(2, 3).
+		AddHyperedge(0, 0, 1).AddHyperedge(1, 1, 2).
+		SetQueryWeights([]int32{7, 3}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "2 3 1\n") {
+		t.Fatalf("header should declare fmt 1: %q", buf.String())
+	}
+	g2, err := ReadHMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.QueryWeight(0) != 7 || g2.QueryWeight(1) != 3 {
+		t.Fatal("query weight round trip failed")
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Fatal("edges changed in round trip")
+	}
+}
+
+func TestHMetisBothWeightsRoundTrip(t *testing.T) {
+	g, err := hypergraph.NewBuilder(1, 2).
+		AddHyperedge(0, 0, 1).
+		SetQueryWeights([]int32{5}).
+		SetDataWeights([]int32{2, 3}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "1 2 11\n") {
+		t.Fatalf("header should declare fmt 11: %q", buf.String())
+	}
+	g2, err := ReadHMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.QueryWeight(0) != 5 || g2.DataWeight(0) != 2 || g2.DataWeight(1) != 3 {
+		t.Fatal("fmt 11 round trip failed")
+	}
+}
+
+func TestReadHMetisErrors(t *testing.T) {
+	cases := []string{
+		"",                  // no header
+		"1\n",               // short header
+		"1 2\n",             // missing hyperedge line
+		"1 2\n1 5\n",        // vertex out of range
+		"1 2\nx\n",          // non-numeric vertex
+		"1 2 10\n1\n1\nx\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadHMetis(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestHMetisRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		b := hypergraph.NewBuilder(10, 15)
+		for i := 0; i < 50; i++ {
+			b.AddEdge(int32(r.Intn(10)), int32(r.Intn(15)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteHMetis(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadHMetis(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.Edges(), g2.Edges())
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHMetisWeightedRoundTrip(t *testing.T) {
+	g, err := hypergraph.NewBuilder(2, 3).
+		AddHyperedge(0, 0, 1).AddHyperedge(1, 1, 2).
+		SetDataWeights([]int32{2, 4, 8}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadHMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := int32(0); d < 3; d++ {
+		if g.DataWeight(d) != g2.DataWeight(d) {
+			t.Fatalf("weight mismatch at %d", d)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := hypergraph.FromHyperedges(6, [][]int32{{0, 1, 5}, {0, 1, 2, 3}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) || g2.NumQueries() != 3 || g2.NumData() != 6 {
+		t.Fatal("edge list round trip mismatch")
+	}
+}
+
+func TestEdgeListInferredSizes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 0\n2 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != 3 || g.NumData() != 5 {
+		t.Fatalf("inferred Q=%d D=%d", g.NumQueries(), g.NumData())
+	}
+}
+
+func TestEdgeListHeaderOverridesSizes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("%% q=10 d=20\n0 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != 10 || g.NumData() != 20 {
+		t.Fatalf("header sizes Q=%d D=%d", g.NumQueries(), g.NumData())
+	}
+}
+
+func TestEdgeListComments(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# comment\n\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("comments not skipped")
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "-1 0\n", "%% q=x\n0 0\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := []int32{0, 3, 1, 2, 2, 0}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAssignment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip: %v -> %v", a, got)
+	}
+}
+
+func TestAssignmentSkipsComments(t *testing.T) {
+	got, err := ReadAssignment(strings.NewReader("# header\n1\n\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}

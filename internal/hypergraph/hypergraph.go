@@ -1,0 +1,530 @@
+// Package hypergraph implements the bipartite query–data representation of a
+// hypergraph used throughout the paper (Section 1, Figure 1).
+//
+// A hypergraph with vertex set D and hyperedges Q is stored as an undirected
+// bipartite graph G = (Q ∪ D, E): each query vertex q corresponds to one
+// hyperedge spanning exactly the data vertices adjacent to q. The structure
+// is immutable after Build and stores compressed sparse row (CSR) adjacency
+// in both directions, which is what the partitioner's two passes (per-query
+// neighbor-data aggregation, per-data gain computation) need.
+package hypergraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"shp/internal/par"
+)
+
+// Bipartite is an immutable bipartite graph between queries (hyperedges) and
+// data vertices. Vertex ids are dense: queries are 0..NumQueries-1 and data
+// vertices 0..NumData-1, in separate id spaces.
+type Bipartite struct {
+	numQ int
+	numD int
+
+	// CSR from queries to data: qAdj[qOff[q]:qOff[q+1]] are the data
+	// vertices of hyperedge q, sorted ascending.
+	qOff []int64
+	qAdj []int32
+
+	// CSR from data to queries, sorted ascending.
+	dOff []int64
+	dAdj []int32
+
+	// Optional per-data-vertex weights; nil means unit weights.
+	dWeight []int32
+
+	// Optional per-query (hyperedge) weights; nil means unit weights.
+	// Weighted queries contribute proportionally to fanout objectives —
+	// useful when hyperedges represent query classes with different rates.
+	qWeight []int32
+}
+
+// Edge is a (query, data) incidence.
+type Edge struct {
+	Q int32
+	D int32
+}
+
+// NumQueries returns |Q|, the number of hyperedges.
+func (g *Bipartite) NumQueries() int { return g.numQ }
+
+// NumData returns |D|, the number of data vertices.
+func (g *Bipartite) NumData() int { return g.numD }
+
+// NumEdges returns |E|, the number of incidences (sum of hyperedge sizes).
+func (g *Bipartite) NumEdges() int64 { return int64(len(g.qAdj)) }
+
+// QueryNeighbors returns the data vertices of hyperedge q as a shared slice;
+// callers must not modify it.
+func (g *Bipartite) QueryNeighbors(q int32) []int32 {
+	return g.qAdj[g.qOff[q]:g.qOff[q+1]]
+}
+
+// DataNeighbors returns the queries adjacent to data vertex d as a shared
+// slice; callers must not modify it.
+func (g *Bipartite) DataNeighbors(d int32) []int32 {
+	return g.dAdj[g.dOff[d]:g.dOff[d+1]]
+}
+
+// QueryDegree returns the size of hyperedge q.
+func (g *Bipartite) QueryDegree(q int32) int {
+	return int(g.qOff[q+1] - g.qOff[q])
+}
+
+// DataDegree returns the number of hyperedges containing data vertex d.
+func (g *Bipartite) DataDegree(d int32) int {
+	return int(g.dOff[d+1] - g.dOff[d])
+}
+
+// DataWeight returns the weight of data vertex d (1 if unweighted).
+func (g *Bipartite) DataWeight(d int32) int32 {
+	if g.dWeight == nil {
+		return 1
+	}
+	return g.dWeight[d]
+}
+
+// Weighted reports whether the graph carries non-unit data-vertex weights.
+func (g *Bipartite) Weighted() bool { return g.dWeight != nil }
+
+// QueryWeight returns the weight of hyperedge q (1 if unweighted).
+func (g *Bipartite) QueryWeight(q int32) int32 {
+	if g.qWeight == nil {
+		return 1
+	}
+	return g.qWeight[q]
+}
+
+// QueryWeighted reports whether the graph carries non-unit query weights.
+func (g *Bipartite) QueryWeighted() bool { return g.qWeight != nil }
+
+// TotalQueryWeight returns the sum of query weights.
+func (g *Bipartite) TotalQueryWeight() int64 {
+	if g.qWeight == nil {
+		return int64(g.numQ)
+	}
+	var sum int64
+	for _, w := range g.qWeight {
+		sum += int64(w)
+	}
+	return sum
+}
+
+// TotalDataWeight returns the sum of data vertex weights.
+func (g *Bipartite) TotalDataWeight() int64 {
+	if g.dWeight == nil {
+		return int64(g.numD)
+	}
+	var sum int64
+	for _, w := range g.dWeight {
+		sum += int64(w)
+	}
+	return sum
+}
+
+// MaxQueryDegree returns the largest hyperedge size (0 for empty graphs).
+func (g *Bipartite) MaxQueryDegree() int {
+	maxDeg := 0
+	for q := 0; q < g.numQ; q++ {
+		if d := int(g.qOff[q+1] - g.qOff[q]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// Edges returns all incidences. Intended for tests and small graphs.
+func (g *Bipartite) Edges() []Edge {
+	out := make([]Edge, 0, len(g.qAdj))
+	for q := 0; q < g.numQ; q++ {
+		for _, d := range g.QueryNeighbors(int32(q)) {
+			out = append(out, Edge{Q: int32(q), D: d})
+		}
+	}
+	return out
+}
+
+// Stats summarizes the graph for dataset tables.
+type Stats struct {
+	NumQueries   int
+	NumData      int
+	NumEdges     int64
+	AvgQueryDeg  float64
+	MaxQueryDeg  int
+	AvgDataDeg   float64
+	MaxDataDeg   int
+	IsolatedData int // data vertices in no hyperedge
+}
+
+// ComputeStats scans the graph once and returns summary statistics.
+func (g *Bipartite) ComputeStats() Stats {
+	s := Stats{NumQueries: g.numQ, NumData: g.numD, NumEdges: g.NumEdges()}
+	for q := 0; q < g.numQ; q++ {
+		if d := g.QueryDegree(int32(q)); d > s.MaxQueryDeg {
+			s.MaxQueryDeg = d
+		}
+	}
+	for d := 0; d < g.numD; d++ {
+		deg := g.DataDegree(int32(d))
+		if deg > s.MaxDataDeg {
+			s.MaxDataDeg = deg
+		}
+		if deg == 0 {
+			s.IsolatedData++
+		}
+	}
+	if g.numQ > 0 {
+		s.AvgQueryDeg = float64(s.NumEdges) / float64(g.numQ)
+	}
+	if g.numD > 0 {
+		s.AvgDataDeg = float64(s.NumEdges) / float64(g.numD)
+	}
+	return s
+}
+
+// Validate checks internal CSR invariants. It is used by tests and by the
+// file loaders; a healthy Build never produces an invalid graph.
+func (g *Bipartite) Validate() error {
+	if len(g.qOff) != g.numQ+1 || len(g.dOff) != g.numD+1 {
+		return errors.New("hypergraph: offset array length mismatch")
+	}
+	if g.qOff[0] != 0 || g.dOff[0] != 0 {
+		return errors.New("hypergraph: offsets must start at 0")
+	}
+	if g.qOff[g.numQ] != int64(len(g.qAdj)) || g.dOff[g.numD] != int64(len(g.dAdj)) {
+		return errors.New("hypergraph: offsets must end at adjacency length")
+	}
+	if len(g.qAdj) != len(g.dAdj) {
+		return fmt.Errorf("hypergraph: asymmetric edge counts %d vs %d", len(g.qAdj), len(g.dAdj))
+	}
+	for q := 0; q < g.numQ; q++ {
+		if g.qOff[q] > g.qOff[q+1] {
+			return fmt.Errorf("hypergraph: decreasing query offsets at %d", q)
+		}
+		prev := int32(-1)
+		for _, d := range g.QueryNeighbors(int32(q)) {
+			if d < 0 || int(d) >= g.numD {
+				return fmt.Errorf("hypergraph: query %d references data %d out of range", q, d)
+			}
+			if d <= prev {
+				return fmt.Errorf("hypergraph: query %d adjacency not strictly sorted", q)
+			}
+			prev = d
+		}
+	}
+	for d := 0; d < g.numD; d++ {
+		if g.dOff[d] > g.dOff[d+1] {
+			return fmt.Errorf("hypergraph: decreasing data offsets at %d", d)
+		}
+		prev := int32(-1)
+		for _, q := range g.DataNeighbors(int32(d)) {
+			if q < 0 || int(q) >= g.numQ {
+				return fmt.Errorf("hypergraph: data %d references query %d out of range", d, q)
+			}
+			if q <= prev {
+				return fmt.Errorf("hypergraph: data %d adjacency not strictly sorted", d)
+			}
+			prev = q
+		}
+	}
+	if g.dWeight != nil {
+		if len(g.dWeight) != g.numD {
+			return errors.New("hypergraph: weight array length mismatch")
+		}
+		for d, w := range g.dWeight {
+			if w <= 0 {
+				return fmt.Errorf("hypergraph: non-positive weight %d at data vertex %d", w, d)
+			}
+		}
+	}
+	if g.qWeight != nil {
+		if len(g.qWeight) != g.numQ {
+			return errors.New("hypergraph: query weight array length mismatch")
+		}
+		for q, w := range g.qWeight {
+			if w <= 0 {
+				return fmt.Errorf("hypergraph: non-positive weight %d at query %d", w, q)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates incidences and produces an immutable Bipartite.
+// Duplicate (q, d) incidences are removed by Build.
+type Builder struct {
+	numQ     int
+	numD     int
+	edges    []Edge
+	weights  []int32
+	qWeights []int32
+}
+
+// NewBuilder creates a builder for a graph with the given vertex counts.
+func NewBuilder(numQueries, numData int) *Builder {
+	return &Builder{numQ: numQueries, numD: numData}
+}
+
+// AddEdge records that hyperedge q contains data vertex d.
+func (b *Builder) AddEdge(q, d int32) *Builder {
+	b.edges = append(b.edges, Edge{Q: q, D: d})
+	return b
+}
+
+// AddHyperedge records that hyperedge q contains all the given data vertices.
+func (b *Builder) AddHyperedge(q int32, data ...int32) *Builder {
+	for _, d := range data {
+		b.AddEdge(q, d)
+	}
+	return b
+}
+
+// SetDataWeights attaches per-data-vertex weights (length must be numData).
+func (b *Builder) SetDataWeights(w []int32) *Builder {
+	b.weights = w
+	return b
+}
+
+// SetQueryWeights attaches per-hyperedge weights (length must be
+// numQueries).
+func (b *Builder) SetQueryWeights(w []int32) *Builder {
+	b.qWeights = w
+	return b
+}
+
+// Build validates ids, deduplicates incidences, and assembles CSR in both
+// directions. The builder can be reused afterwards.
+func (b *Builder) Build() (*Bipartite, error) {
+	if b.numQ < 0 || b.numD < 0 {
+		return nil, errors.New("hypergraph: negative vertex count")
+	}
+	for _, e := range b.edges {
+		if e.Q < 0 || int(e.Q) >= b.numQ {
+			return nil, fmt.Errorf("hypergraph: query id %d out of range [0,%d)", e.Q, b.numQ)
+		}
+		if e.D < 0 || int(e.D) >= b.numD {
+			return nil, fmt.Errorf("hypergraph: data id %d out of range [0,%d)", e.D, b.numD)
+		}
+	}
+	if b.weights != nil && len(b.weights) != b.numD {
+		return nil, fmt.Errorf("hypergraph: %d weights for %d data vertices", len(b.weights), b.numD)
+	}
+	if b.qWeights != nil && len(b.qWeights) != b.numQ {
+		return nil, fmt.Errorf("hypergraph: %d query weights for %d queries", len(b.qWeights), b.numQ)
+	}
+	g := &Bipartite{numQ: b.numQ, numD: b.numD}
+	if b.weights != nil {
+		g.dWeight = make([]int32, b.numD)
+		copy(g.dWeight, b.weights)
+	}
+	if b.qWeights != nil {
+		g.qWeight = make([]int32, b.numQ)
+		copy(g.qWeight, b.qWeights)
+	}
+
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Q != edges[j].Q {
+			return edges[i].Q < edges[j].Q
+		}
+		return edges[i].D < edges[j].D
+	})
+	// Deduplicate.
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+	edges = uniq
+
+	g.qOff = make([]int64, b.numQ+1)
+	g.qAdj = make([]int32, len(edges))
+	for _, e := range edges {
+		g.qOff[e.Q+1]++
+	}
+	for q := 0; q < b.numQ; q++ {
+		g.qOff[q+1] += g.qOff[q]
+	}
+	for i, e := range edges {
+		g.qAdj[i] = e.D // edges sorted by (Q, D): positions align with qOff
+		_ = i
+	}
+
+	// Reverse CSR via counting sort on data id.
+	g.dOff = make([]int64, b.numD+1)
+	g.dAdj = make([]int32, len(edges))
+	for _, e := range edges {
+		g.dOff[e.D+1]++
+	}
+	for d := 0; d < b.numD; d++ {
+		g.dOff[d+1] += g.dOff[d]
+	}
+	cursor := make([]int64, b.numD)
+	copy(cursor, g.dOff[:b.numD])
+	for _, e := range edges { // edges sorted by Q, so each dAdj list ends up sorted by Q
+		g.dAdj[cursor[e.D]] = e.Q
+		cursor[e.D]++
+	}
+	return g, nil
+}
+
+// FromEdges is a convenience constructor from an incidence list.
+func FromEdges(numQueries, numData int, edges []Edge) (*Bipartite, error) {
+	b := NewBuilder(numQueries, numData)
+	b.edges = append(b.edges, edges...)
+	return b.Build()
+}
+
+// FromHyperedges builds a graph from explicit hyperedge vertex lists. The
+// number of data vertices is inferred as max id + 1 unless numData is larger.
+func FromHyperedges(numData int, hyperedges [][]int32) (*Bipartite, error) {
+	maxD := numData - 1
+	total := 0
+	for _, he := range hyperedges {
+		total += len(he)
+		for _, d := range he {
+			if int(d) > maxD {
+				maxD = int(d)
+			}
+		}
+	}
+	b := NewBuilder(len(hyperedges), maxD+1)
+	b.edges = make([]Edge, 0, total)
+	for q, he := range hyperedges {
+		for _, d := range he {
+			b.AddEdge(int32(q), d)
+		}
+	}
+	return b.Build()
+}
+
+// PruneTrivialQueries returns a graph with hyperedges of size < minDegree
+// removed (the paper removes isolated and degree-one queries, which have
+// fanout 1 under every partition and only add noise to the objective).
+// Data vertices are preserved, including any that become isolated.
+func PruneTrivialQueries(g *Bipartite, minDegree int) *Bipartite {
+	keep := make([]int32, 0, g.numQ)
+	for q := 0; q < g.numQ; q++ {
+		if g.QueryDegree(int32(q)) >= minDegree {
+			keep = append(keep, int32(q))
+		}
+	}
+	if len(keep) == g.numQ {
+		return g
+	}
+	out := &Bipartite{numQ: len(keep), numD: g.numD, dWeight: g.dWeight}
+	if g.qWeight != nil {
+		out.qWeight = make([]int32, len(keep))
+		for i, q := range keep {
+			out.qWeight[i] = g.qWeight[q]
+		}
+	}
+	out.qOff = make([]int64, len(keep)+1)
+	var total int64
+	for i, q := range keep {
+		total += int64(g.QueryDegree(q))
+		out.qOff[i+1] = total
+	}
+	out.qAdj = make([]int32, total)
+	par.For(len(keep), 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			copy(out.qAdj[out.qOff[i]:out.qOff[i+1]], g.QueryNeighbors(keep[i]))
+		}
+	})
+	out.rebuildReverse()
+	return out
+}
+
+// InducedByData returns the subgraph induced by the given data vertices:
+// data vertices are relabeled 0..len(dataIDs)-1 in the given order, and only
+// hyperedges with at least minQueryDegree members inside the subset are kept
+// (relabeled densely). It returns the subgraph and the kept original query
+// ids aligned with the new query ids.
+//
+// This is the substrate for recursive bisection: each recursion step operates
+// on the compact induced problem (Section 3.3, "Recursive partitioning").
+func (g *Bipartite) InducedByData(dataIDs []int32, minQueryDegree int) (*Bipartite, []int32) {
+	dmap := make([]int32, g.numD)
+	for i := range dmap {
+		dmap[i] = -1
+	}
+	for newID, d := range dataIDs {
+		dmap[d] = int32(newID)
+	}
+	// Count per-query membership inside the subset.
+	qCount := make([]int32, g.numQ)
+	for _, d := range dataIDs {
+		for _, q := range g.DataNeighbors(d) {
+			qCount[q]++
+		}
+	}
+	keptQ := make([]int32, 0)
+	for q := 0; q < g.numQ; q++ {
+		if int(qCount[q]) >= minQueryDegree {
+			keptQ = append(keptQ, int32(q))
+		}
+	}
+	out := &Bipartite{numQ: len(keptQ), numD: len(dataIDs)}
+	if g.dWeight != nil {
+		out.dWeight = make([]int32, len(dataIDs))
+		for i, d := range dataIDs {
+			out.dWeight[i] = g.dWeight[d]
+		}
+	}
+	if g.qWeight != nil {
+		out.qWeight = make([]int32, len(keptQ))
+		for i, q := range keptQ {
+			out.qWeight[i] = g.qWeight[q]
+		}
+	}
+	out.qOff = make([]int64, len(keptQ)+1)
+	var total int64
+	for i, q := range keptQ {
+		total += int64(qCount[q])
+		out.qOff[i+1] = total
+	}
+	out.qAdj = make([]int32, total)
+	par.For(len(keptQ), 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			q := keptQ[i]
+			dst := out.qAdj[out.qOff[i]:out.qOff[i+1]]
+			n := 0
+			for _, d := range g.QueryNeighbors(q) {
+				if nd := dmap[d]; nd >= 0 {
+					dst[n] = nd
+					n++
+				}
+			}
+			// dmap is order-dependent, so re-sort for the CSR invariant.
+			sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+		}
+	})
+	out.rebuildReverse()
+	return out, keptQ
+}
+
+// rebuildReverse recomputes the data->query CSR from the query->data CSR.
+func (g *Bipartite) rebuildReverse() {
+	g.dOff = make([]int64, g.numD+1)
+	g.dAdj = make([]int32, len(g.qAdj))
+	for _, d := range g.qAdj {
+		g.dOff[d+1]++
+	}
+	for d := 0; d < g.numD; d++ {
+		g.dOff[d+1] += g.dOff[d]
+	}
+	cursor := make([]int64, g.numD)
+	copy(cursor, g.dOff[:g.numD])
+	for q := 0; q < g.numQ; q++ {
+		for _, d := range g.QueryNeighbors(int32(q)) {
+			g.dAdj[cursor[d]] = int32(q)
+			cursor[d]++
+		}
+	}
+}

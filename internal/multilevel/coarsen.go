@@ -1,0 +1,139 @@
+package multilevel
+
+import (
+	"sort"
+
+	"shp/internal/rng"
+)
+
+// matching pairs vertices by heavy-edge matching: visit vertices in random
+// order, match each unmatched vertex to its heaviest unmatched neighbor
+// (ties broken toward the lighter combined vertex weight, which keeps the
+// coarse graph balanced). Returns match[v] = partner or v itself.
+func (g *Graph) matching(r *rng.RNG, maxVertexWeight int64) []int32 {
+	match := make([]int32, g.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := r.Perm(g.n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		bestW := float32(-1)
+		var bestVW int64
+		for e := g.off[v]; e < g.off[v+1]; e++ {
+			u := g.adj[e]
+			if u == v || match[u] >= 0 {
+				continue
+			}
+			if maxVertexWeight > 0 && g.vw[v]+g.vw[u] > maxVertexWeight {
+				continue
+			}
+			if g.w[e] > bestW || (g.w[e] == bestW && g.vw[u] < bestVW) {
+				best = u
+				bestW = g.w[e]
+				bestVW = g.vw[u]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+// contract builds the coarse graph from a matching. It returns the coarse
+// graph and the fine-to-coarse vertex map.
+func (g *Graph) contract(match []int32) (*Graph, []int32) {
+	cmap := make([]int32, g.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	nc := int32(0)
+	for v := 0; v < g.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = nc
+		if p := match[v]; p >= 0 && int(p) != v {
+			cmap[p] = nc
+		}
+		nc++
+	}
+	vw := make([]int64, nc)
+	for v := 0; v < g.n; v++ {
+		vw[cmap[v]] += g.vw[v]
+	}
+	var edges []wedge
+	for v := int32(0); int(v) < g.n; v++ {
+		cv := cmap[v]
+		for e := g.off[v]; e < g.off[v+1]; e++ {
+			cu := cmap[g.adj[e]]
+			if cu == cv {
+				continue // internal edge disappears
+			}
+			if cv < cu {
+				edges = append(edges, wedge{u: cv, v: cu, w: g.w[e]})
+			}
+		}
+	}
+	return buildGraph(int(nc), edges, vw, 0), cmap
+}
+
+// coarsenResult is one level of the multilevel hierarchy.
+type coarsenResult struct {
+	graphs []*Graph  // graphs[0] is the original, last is coarsest
+	cmaps  [][]int32 // cmaps[i] maps graphs[i] vertices to graphs[i+1]
+}
+
+// coarsen builds the hierarchy until the graph has at most targetSize
+// vertices or matching stops shrinking it.
+func (g *Graph) coarsen(r *rng.RNG, targetSize int) *coarsenResult {
+	res := &coarsenResult{graphs: []*Graph{g}}
+	cur := g
+	// Cap contracted vertex weight so no coarse vertex exceeds a balanced
+	// bucket (standard multilevel safeguard).
+	maxVW := cur.TotalWeight()/int64(targetSize) + 1
+	for cur.n > targetSize {
+		match := cur.matching(r, maxVW)
+		coarse, cmap := cur.contract(match)
+		if float64(coarse.n) > 0.95*float64(cur.n) {
+			break // diminishing returns
+		}
+		res.graphs = append(res.graphs, coarse)
+		res.cmaps = append(res.cmaps, cmap)
+		cur = coarse
+	}
+	return res
+}
+
+// project lifts a coarse-side assignment to the finer level.
+func project(cmap []int32, coarseSide []int8) []int8 {
+	fine := make([]int8, len(cmap))
+	for v, cv := range cmap {
+		fine[v] = coarseSide[cv]
+	}
+	return fine
+}
+
+// sortedByWeightDesc returns vertex ids ordered by weight descending, used
+// by the initial balanced split.
+func (g *Graph) sortedByWeightDesc() []int32 {
+	ids := make([]int32, g.n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if g.vw[ids[i]] != g.vw[ids[j]] {
+			return g.vw[ids[i]] > g.vw[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

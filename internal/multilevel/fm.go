@@ -1,0 +1,190 @@
+package multilevel
+
+import (
+	"container/heap"
+
+	"shp/internal/rng"
+)
+
+// Fiduccia–Mattheyses 2-way refinement with lazy-invalidation priority
+// queues and best-prefix rollback.
+
+// cut returns the weighted edge cut of a 2-way assignment.
+func (g *Graph) cut(side []int8) float64 {
+	total := 0.0
+	for v := int32(0); int(v) < g.n; v++ {
+		for e := g.off[v]; e < g.off[v+1]; e++ {
+			u := g.adj[e]
+			if u > v && side[u] != side[v] {
+				total += float64(g.w[e])
+			}
+		}
+	}
+	return total
+}
+
+// fmGain returns v's move gain: external minus internal edge weight.
+func (g *Graph) fmGain(v int32, side []int8) float64 {
+	gain := 0.0
+	for e := g.off[v]; e < g.off[v+1]; e++ {
+		if side[g.adj[e]] == side[v] {
+			gain -= float64(g.w[e])
+		} else {
+			gain += float64(g.w[e])
+		}
+	}
+	return gain
+}
+
+type fmEntry struct {
+	v     int32
+	gain  float64
+	stamp int64
+}
+
+type fmHeap []fmEntry
+
+func (h fmHeap) Len() int { return len(h) }
+func (h fmHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h fmHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x any)   { *h = append(*h, x.(fmEntry)) }
+func (h *fmHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// fmPass runs one FM pass: tentatively move the best movable vertex
+// (respecting balance caps), lock it, update neighbor gains, and finally
+// roll back to the best prefix. Returns the cut improvement achieved.
+func (g *Graph) fmPass(side []int8, w *[2]int64, capW [2]float64) float64 {
+	stamps := make([]int64, g.n)
+	locked := make([]bool, g.n)
+	gains := make([]float64, g.n)
+	var pq fmHeap
+	for v := int32(0); int(v) < g.n; v++ {
+		gains[v] = g.fmGain(v, side)
+		pq = append(pq, fmEntry{v: v, gain: gains[v]})
+	}
+	heap.Init(&pq)
+
+	type record struct {
+		v    int32
+		gain float64
+	}
+	var moves []record
+	cumulative, best := 0.0, 0.0
+	bestIdx := -1
+
+	for pq.Len() > 0 {
+		e := heap.Pop(&pq).(fmEntry)
+		if locked[e.v] || e.stamp != stamps[e.v] {
+			continue
+		}
+		from := side[e.v]
+		to := 1 - from
+		vw := g.vw[e.v]
+		if float64(w[to]+vw) > capW[to] {
+			continue // would unbalance; vertex stays available? no: skip permanently this pass
+		}
+		// Move and lock.
+		side[e.v] = to
+		w[from] -= vw
+		w[to] += vw
+		locked[e.v] = true
+		cumulative += e.gain
+		moves = append(moves, record{v: e.v, gain: e.gain})
+		if cumulative > best+1e-12 {
+			best = cumulative
+			bestIdx = len(moves) - 1
+		}
+		// Update neighbors.
+		for i := g.off[e.v]; i < g.off[e.v+1]; i++ {
+			u := g.adj[i]
+			if locked[u] {
+				continue
+			}
+			if side[u] == to {
+				gains[u] -= 2 * float64(g.w[i])
+			} else {
+				gains[u] += 2 * float64(g.w[i])
+			}
+			stamps[u]++
+			heap.Push(&pq, fmEntry{v: u, gain: gains[u], stamp: stamps[u]})
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].v
+		from := side[v]
+		to := 1 - from
+		side[v] = to
+		vw := g.vw[v]
+		w[from] -= vw
+		w[to] += vw
+	}
+	return best
+}
+
+// refineFM runs FM passes until no pass improves or maxPasses is reached.
+func (g *Graph) refineFM(side []int8, capW [2]float64, maxPasses int) {
+	var w [2]int64
+	for v := 0; v < g.n; v++ {
+		w[side[v]] += g.vw[v]
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		if g.fmPass(side, &w, capW) < 1e-12 {
+			break
+		}
+	}
+}
+
+// initialBisect produces a balanced starting split: vertices are visited in
+// randomized weight-descending order and each goes to the side with the
+// larger relative deficit (deficit-driven bin packing keeps both sides at
+// their targets to within one vertex weight). Best of `tries` candidates by
+// cut after an FM polish.
+func (g *Graph) initialBisect(r *rng.RNG, propLeft float64, capW [2]float64, tries, fmPasses int) []int8 {
+	total := float64(g.TotalWeight())
+	target := [2]float64{propLeft * total, (1 - propLeft) * total}
+	base := g.sortedByWeightDesc()
+	var bestSide []int8
+	bestCut := 0.0
+	order := make([]int32, len(base))
+	for t := 0; t < tries; t++ {
+		// Shuffle within a window so tries explore different packings while
+		// staying roughly weight-descending.
+		copy(order, base)
+		for i := 0; i+1 < len(order); i += 2 {
+			if r.Bool() {
+				order[i], order[i+1] = order[i+1], order[i]
+			}
+		}
+		side := make([]int8, g.n)
+		var w [2]float64
+		for _, v := range order {
+			d0 := (target[0] - w[0]) / (target[0] + 1)
+			d1 := (target[1] - w[1]) / (target[1] + 1)
+			s := 0
+			if d1 > d0 {
+				s = 1
+			}
+			side[v] = int8(s)
+			w[s] += float64(g.vw[v])
+		}
+		g.refineFM(side, capW, fmPasses)
+		c := g.cut(side)
+		if bestSide == nil || c < bestCut {
+			bestSide = side
+			bestCut = c
+		}
+	}
+	return bestSide
+}

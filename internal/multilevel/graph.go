@@ -1,0 +1,189 @@
+// Package multilevel implements a classical multilevel partitioner over the
+// clique-net expansion of a hypergraph. It stands in for the baseline tools
+// the paper compares against (hMetis/PaToH/Mondriaan single-machine,
+// Zoltan/Parkway distributed): coarsen by heavy-edge matching, split the
+// coarsest graph, refine with Fiduccia–Mattheyses on the way back up, and
+// recurse for k-way.
+//
+// The package also models the Section 2 scalability limitation that
+// motivates SHP: multilevel schemes materialize the clique-net graph and
+// park the coarsest graph on a single machine. A configurable MemoryBudget
+// triggers ErrOutOfMemory exactly where the real tools die on large
+// hypergraphs, which is how the Table 3 "failed to run" entries are
+// reproduced.
+package multilevel
+
+import (
+	"sort"
+
+	"shp/internal/hypergraph"
+)
+
+// Graph is an edge-weighted undirected graph in CSR form (each edge stored
+// in both directions).
+type Graph struct {
+	n   int
+	off []int64
+	adj []int32
+	w   []float32
+	vw  []int64 // vertex weights (contracted vertex counts)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+
+// VertexWeight returns vertex v's weight.
+func (g *Graph) VertexWeight(v int32) int64 { return g.vw[v] }
+
+// TotalWeight returns the sum of vertex weights.
+func (g *Graph) TotalWeight() int64 {
+	var t int64
+	for _, w := range g.vw {
+		t += w
+	}
+	return t
+}
+
+// estimatedBytes approximates the in-memory footprint, the quantity checked
+// against MemoryBudget.
+func (g *Graph) estimatedBytes() int64 {
+	return int64(len(g.adj))*8 + int64(g.n)*16
+}
+
+type wedge struct {
+	u, v int32
+	w    float32
+}
+
+// buildGraph assembles a CSR graph from an accumulated edge list (u < v),
+// merging duplicates by summing weights and applying a per-vertex neighbor
+// cap (keep heaviest), the standard clique-net sparsification.
+func buildGraph(n int, edges []wedge, vw []int64, maxNeighbors int) *Graph {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	merged := edges[:0]
+	for _, e := range edges {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.u == e.u && last.v == e.v {
+				last.w += e.w
+				continue
+			}
+		}
+		merged = append(merged, e)
+	}
+	// Per-vertex caps: count both directions, keep each vertex's heaviest
+	// maxNeighbors edges. An edge survives if either endpoint keeps it.
+	if maxNeighbors > 0 {
+		type ranked struct {
+			idx int32
+			w   float32
+		}
+		perVertex := make([][]ranked, n)
+		for i, e := range merged {
+			perVertex[e.u] = append(perVertex[e.u], ranked{int32(i), e.w})
+			perVertex[e.v] = append(perVertex[e.v], ranked{int32(i), e.w})
+		}
+		keep := make([]bool, len(merged))
+		for v := 0; v < n; v++ {
+			lst := perVertex[v]
+			if len(lst) > maxNeighbors {
+				sort.Slice(lst, func(i, j int) bool { return lst[i].w > lst[j].w })
+				lst = lst[:maxNeighbors]
+			}
+			for _, r := range lst {
+				keep[r.idx] = true
+			}
+		}
+		kept := merged[:0]
+		for i, e := range merged {
+			if keep[i] {
+				kept = append(kept, e)
+			}
+		}
+		merged = kept
+	}
+
+	g := &Graph{n: n, off: make([]int64, n+1)}
+	if vw == nil {
+		g.vw = make([]int64, n)
+		for i := range g.vw {
+			g.vw[i] = 1
+		}
+	} else {
+		g.vw = vw
+	}
+	deg := make([]int64, n)
+	for _, e := range merged {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	for v := 0; v < n; v++ {
+		g.off[v+1] = g.off[v] + deg[v]
+	}
+	g.adj = make([]int32, g.off[n])
+	g.w = make([]float32, g.off[n])
+	cursor := make([]int64, n)
+	copy(cursor, g.off[:n])
+	for _, e := range merged {
+		g.adj[cursor[e.u]] = e.v
+		g.w[cursor[e.u]] = e.w
+		cursor[e.u]++
+		g.adj[cursor[e.v]] = e.u
+		g.w[cursor[e.v]] = e.w
+		cursor[e.v]++
+	}
+	return g
+}
+
+// CliqueNet expands the hypergraph into its clique-net graph (Lemma 2):
+// every hyperedge of size <= maxHyperedge contributes a clique with edge
+// weight 1 (duplicates summed). Larger hyperedges are skipped — the
+// sampling/truncation heuristic the clique-net literature uses, since a
+// hyperedge of size s adds s(s-1)/2 edges.
+func CliqueNet(g *hypergraph.Bipartite, maxHyperedge, maxNeighbors int) *Graph {
+	var edges []wedge
+	for q := 0; q < g.NumQueries(); q++ {
+		ns := g.QueryNeighbors(int32(q))
+		if len(ns) < 2 || len(ns) > maxHyperedge {
+			continue
+		}
+		for i := 0; i < len(ns); i++ {
+			for j := i + 1; j < len(ns); j++ {
+				edges = append(edges, wedge{u: ns[i], v: ns[j], w: 1})
+			}
+		}
+	}
+	return buildGraph(g.NumData(), edges, nil, maxNeighbors)
+}
+
+// induced returns the subgraph over the given vertices (relabeled densely,
+// preserving weights), used by recursive bisection.
+func (g *Graph) induced(vertices []int32) *Graph {
+	vmap := make([]int32, g.n)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	for i, v := range vertices {
+		vmap[v] = int32(i)
+	}
+	var edges []wedge
+	vw := make([]int64, len(vertices))
+	for i, v := range vertices {
+		vw[i] = g.vw[v]
+		for e := g.off[v]; e < g.off[v+1]; e++ {
+			u := g.adj[e]
+			if nu := vmap[u]; nu >= 0 && nu > int32(i) {
+				edges = append(edges, wedge{u: int32(i), v: nu, w: g.w[e]})
+			}
+		}
+	}
+	return buildGraph(len(vertices), edges, vw, 0)
+}

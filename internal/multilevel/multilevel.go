@@ -1,0 +1,199 @@
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+
+	"shp/internal/hypergraph"
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+// ErrOutOfMemory reports that the configured memory budget was exceeded —
+// the failure mode that keeps the real multilevel tools (Parkway, Zoltan)
+// from partitioning large hypergraphs on a fixed cluster (Section 2,
+// Table 3 of the paper).
+var ErrOutOfMemory = errors.New("multilevel: memory budget exceeded")
+
+// Config controls the baseline partitioner.
+type Config struct {
+	// K is the number of buckets (>= 1).
+	K int
+	// Epsilon is the allowed imbalance per bucket (default 0.05).
+	Epsilon float64
+	// Seed drives all randomized choices.
+	Seed uint64
+	// MaxHyperedge caps hyperedge size during clique-net expansion
+	// (default 64). Larger hyperedges are dropped.
+	MaxHyperedge int
+	// MaxNeighbors caps each vertex's clique-net adjacency, keeping the
+	// heaviest edges (default 128).
+	MaxNeighbors int
+	// CoarsestSize is the matching target for the coarsest graph
+	// (default 100 vertices).
+	CoarsestSize int
+	// FMPasses bounds refinement passes per level (default 8; lower it for
+	// a faster, lower-quality run).
+	FMPasses int
+	// InitialTries is the number of candidate initial splits (default 8).
+	InitialTries int
+	// MemoryBudget, when > 0, is the simulated per-machine memory in bytes.
+	// The input hypergraph, the clique-net graph, and every coarse graph
+	// must fit (the coarsest graph lives on a single machine in the real
+	// distributed tools).
+	MemoryBudget int64
+	// MemoryChargeFactor scales the estimated footprint before the budget
+	// check (default 1). Experiment harnesses running scaled-down stand-ins
+	// set it to paperSize/builtSize so the memory model reflects the
+	// full-scale graph the stand-in represents.
+	MemoryChargeFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.MaxHyperedge == 0 {
+		c.MaxHyperedge = 64
+	}
+	if c.MaxNeighbors == 0 {
+		c.MaxNeighbors = 128
+	}
+	if c.CoarsestSize == 0 {
+		c.CoarsestSize = 100
+	}
+	if c.FMPasses == 0 {
+		c.FMPasses = 8
+	}
+	if c.InitialTries == 0 {
+		c.InitialTries = 8
+	}
+	if c.MemoryChargeFactor == 0 {
+		c.MemoryChargeFactor = 1
+	}
+	return c
+}
+
+// charged applies the memory charge factor to a raw byte estimate.
+func (c Config) charged(bytes int64) int64 {
+	return int64(float64(bytes) * c.MemoryChargeFactor)
+}
+
+// EstimateBytes returns the simulated memory footprint the partitioner
+// needs for g: the input hypergraph (the real tools hold it in RAM) plus
+// the materialized clique-net graph. This is the quantity checked against
+// Config.MemoryBudget, exposed so harnesses can calibrate budgets.
+func EstimateBytes(g *hypergraph.Bipartite, cfg Config) int64 {
+	cfg = cfg.withDefaults()
+	cn := CliqueNet(g, cfg.MaxHyperedge, cfg.MaxNeighbors)
+	return cfg.charged(inputBytes(g) + cn.estimatedBytes())
+}
+
+func inputBytes(g *hypergraph.Bipartite) int64 {
+	return 8*g.NumEdges() + 16*int64(g.NumData()+g.NumQueries())
+}
+
+// Partition partitions the hypergraph's data vertices into K buckets by
+// multilevel recursive bisection on the clique-net graph.
+func Partition(g *hypergraph.Bipartite, cfg Config) (partition.Assignment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("multilevel: K must be >= 1, got %d", cfg.K)
+	}
+	assignment := make(partition.Assignment, g.NumData())
+	if cfg.K == 1 {
+		return assignment, nil
+	}
+	cn := CliqueNet(g, cfg.MaxHyperedge, cfg.MaxNeighbors)
+	if need := cfg.charged(inputBytes(g) + cn.estimatedBytes()); cfg.MemoryBudget > 0 && need > cfg.MemoryBudget {
+		return nil, fmt.Errorf("%w: input + clique-net graph need %d bytes, budget %d",
+			ErrOutOfMemory, need, cfg.MemoryBudget)
+	}
+	all := make([]int32, g.NumData())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	idealPerBucket := float64(cn.TotalWeight()) / float64(cfg.K)
+	if err := bisectRecursive(cn, all, 0, cfg.K, cfg, idealPerBucket, assignment); err != nil {
+		return nil, err
+	}
+	return assignment, nil
+}
+
+// bisectRecursive splits `vertices` (original data ids, aligned with
+// graph g's vertex ids after induction) over buckets [lo, lo+span).
+func bisectRecursive(g *Graph, vertices []int32, lo int32, span int, cfg Config,
+	idealPerBucket float64, assignment partition.Assignment) error {
+
+	if span == 1 {
+		for _, v := range vertices {
+			assignment[v] = lo
+		}
+		return nil
+	}
+	if cfg.MemoryBudget > 0 && cfg.charged(g.estimatedBytes()) > cfg.MemoryBudget {
+		return fmt.Errorf("%w: level graph needs %d bytes, budget %d",
+			ErrOutOfMemory, g.estimatedBytes(), cfg.MemoryBudget)
+	}
+	kLeft := (span + 1) / 2
+	kRight := span - kLeft
+	propLeft := float64(kLeft) / float64(span)
+	capW := [2]float64{
+		idealPerBucket * float64(kLeft) * (1 + cfg.Epsilon),
+		idealPerBucket * float64(kRight) * (1 + cfg.Epsilon),
+	}
+
+	r := rng.NewStream(cfg.Seed, uint64(lo)+uint64(span)<<32)
+	hierarchy := g.coarsen(r, max(cfg.CoarsestSize, 4))
+	coarsest := hierarchy.graphs[len(hierarchy.graphs)-1]
+	if cfg.MemoryBudget > 0 && cfg.charged(coarsest.estimatedBytes()) > cfg.MemoryBudget {
+		// The coarsest graph is gathered on one machine in the real tools.
+		return fmt.Errorf("%w: coarsest graph needs %d bytes, budget %d",
+			ErrOutOfMemory, coarsest.estimatedBytes(), cfg.MemoryBudget)
+	}
+	side := coarsest.initialBisect(r, propLeft, capW, cfg.InitialTries, cfg.FMPasses)
+	for level := len(hierarchy.graphs) - 2; level >= 0; level-- {
+		side = project(hierarchy.cmaps[level], side)
+		hierarchy.graphs[level].refineFM(side, capW, cfg.FMPasses)
+	}
+
+	var leftIdx, rightIdx []int32
+	var leftIDs, rightIDs []int32
+	for i, v := range vertices {
+		if side[i] == 0 {
+			leftIdx = append(leftIdx, int32(i))
+			leftIDs = append(leftIDs, v)
+		} else {
+			rightIdx = append(rightIdx, int32(i))
+			rightIDs = append(rightIDs, v)
+		}
+	}
+	if kLeft == 1 {
+		for _, v := range leftIDs {
+			assignment[v] = lo
+		}
+	} else {
+		sub := g.induced(leftIdx)
+		if err := bisectRecursive(sub, leftIDs, lo, kLeft, cfg, idealPerBucket, assignment); err != nil {
+			return err
+		}
+	}
+	if kRight == 1 {
+		for _, v := range rightIDs {
+			assignment[v] = lo + int32(kLeft)
+		}
+	} else {
+		sub := g.induced(rightIdx)
+		if err := bisectRecursive(sub, rightIDs, lo+int32(kLeft), kRight, cfg, idealPerBucket, assignment); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,238 @@
+package multilevel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"shp/internal/gen"
+	"shp/internal/hypergraph"
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+func randomBipartite(tb testing.TB, seed uint64, numQ, numD, edges int) *hypergraph.Bipartite {
+	tb.Helper()
+	r := rng.New(seed)
+	b := hypergraph.NewBuilder(numQ, numD)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(int32(r.Intn(numQ)), int32(r.Intn(numD)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func TestCliqueNetWeights(t *testing.T) {
+	// Two hyperedges {0,1,2} and {1,2}: pair (1,2) has weight 2, pairs
+	// (0,1), (0,2) weight 1.
+	g, err := hypergraph.FromHyperedges(3, [][]int32{{0, 1, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := CliqueNet(g, 64, 0)
+	if cn.NumVertices() != 3 || cn.NumEdges() != 3 {
+		t.Fatalf("clique net shape n=%d m=%d", cn.NumVertices(), cn.NumEdges())
+	}
+	found := false
+	for e := cn.off[1]; e < cn.off[2]; e++ {
+		if cn.adj[e] == 2 {
+			if cn.w[e] != 2 {
+				t.Fatalf("w(1,2) = %v, want 2", cn.w[e])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge (1,2) missing")
+	}
+}
+
+func TestCliqueNetSkipsGiantHyperedges(t *testing.T) {
+	he := make([]int32, 100)
+	for i := range he {
+		he[i] = int32(i)
+	}
+	g, err := hypergraph.FromHyperedges(100, [][]int32{he, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := CliqueNet(g, 50, 0)
+	if cn.NumEdges() != 1 {
+		t.Fatalf("giant hyperedge not skipped: %d edges", cn.NumEdges())
+	}
+}
+
+func TestCliqueNetNeighborCap(t *testing.T) {
+	// The cap bounds total memory at n*maxNeighbors edges: an edge survives
+	// when either endpoint ranks it in its top maxNeighbors, so lightweight
+	// vertices keep their connectivity while hubs are trimmed.
+	g := randomBipartite(t, 31, 100, 50, 2000)
+	capped := CliqueNet(g, 64, 5)
+	uncapped := CliqueNet(g, 64, 0)
+	if capped.NumEdges() > int64(capped.NumVertices()*5) {
+		t.Fatalf("%d edges exceed the n*cap bound %d", capped.NumEdges(), capped.NumVertices()*5)
+	}
+	if capped.NumEdges() >= uncapped.NumEdges() {
+		t.Fatalf("cap did not reduce edges: %d vs %d", capped.NumEdges(), uncapped.NumEdges())
+	}
+}
+
+func TestMatchingIsValid(t *testing.T) {
+	g := CliqueNet(randomBipartite(t, 3, 50, 80, 400), 64, 0)
+	match := g.matching(rng.New(1), 0)
+	for v := 0; v < g.n; v++ {
+		m := match[v]
+		if m < 0 {
+			t.Fatalf("vertex %d unmatched", v)
+		}
+		if int(m) != v && match[m] != int32(v) {
+			t.Fatalf("matching not symmetric at %d", v)
+		}
+	}
+}
+
+func TestContractPreservesWeight(t *testing.T) {
+	g := CliqueNet(randomBipartite(t, 5, 40, 60, 300), 64, 0)
+	match := g.matching(rng.New(2), 0)
+	coarse, cmap := g.contract(match)
+	if coarse.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("vertex weight lost: %d -> %d", g.TotalWeight(), coarse.TotalWeight())
+	}
+	if coarse.n >= g.n {
+		t.Fatalf("contraction did not shrink: %d -> %d", g.n, coarse.n)
+	}
+	for v := 0; v < g.n; v++ {
+		if cmap[v] < 0 || int(cmap[v]) >= coarse.n {
+			t.Fatalf("cmap out of range at %d", v)
+		}
+	}
+}
+
+func TestCoarsenHierarchy(t *testing.T) {
+	g := CliqueNet(randomBipartite(t, 7, 200, 400, 2000), 64, 0)
+	h := g.coarsen(rng.New(3), 50)
+	if len(h.graphs) < 2 {
+		t.Fatal("no coarsening happened")
+	}
+	for i := 1; i < len(h.graphs); i++ {
+		if h.graphs[i].n >= h.graphs[i-1].n {
+			t.Fatal("hierarchy not shrinking")
+		}
+	}
+	last := h.graphs[len(h.graphs)-1]
+	if last.n > 400 {
+		t.Fatalf("coarsest still has %d vertices", last.n)
+	}
+}
+
+func TestFMImprovesCut(t *testing.T) {
+	g := CliqueNet(randomBipartite(t, 11, 150, 200, 1200), 64, 0)
+	r := rng.New(4)
+	side := make([]int8, g.n)
+	for i := range side {
+		side[i] = int8(r.Intn(2))
+	}
+	before := g.cut(side)
+	capW := [2]float64{float64(g.TotalWeight()), float64(g.TotalWeight())}
+	g.refineFM(side, capW, 8)
+	after := g.cut(side)
+	if after > before {
+		t.Fatalf("FM worsened the cut: %v -> %v", before, after)
+	}
+	if before > 0 && after >= before {
+		t.Fatalf("FM made no progress: %v -> %v", before, after)
+	}
+}
+
+func TestFMGainMatchesCutDelta(t *testing.T) {
+	g := CliqueNet(randomBipartite(t, 13, 30, 40, 200), 64, 0)
+	r := rng.New(5)
+	side := make([]int8, g.n)
+	for i := range side {
+		side[i] = int8(r.Intn(2))
+	}
+	for v := int32(0); int(v) < g.n; v++ {
+		gain := g.fmGain(v, side)
+		before := g.cut(side)
+		side[v] = 1 - side[v]
+		after := g.cut(side)
+		side[v] = 1 - side[v]
+		if math.Abs((before-after)-gain) > 1e-6 {
+			t.Fatalf("vertex %d: gain %v but cut delta %v", v, gain, before-after)
+		}
+	}
+}
+
+func TestPartitionValidBalanced(t *testing.T) {
+	g := randomBipartite(t, 17, 300, 500, 3000)
+	for _, k := range []int{2, 4, 8, 5} {
+		a, err := Partition(g, Config{K: k, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if imb := partition.Imbalance(a, k); imb > 0.05+0.05 {
+			t.Fatalf("k=%d: imbalance %v", k, imb)
+		}
+	}
+}
+
+func TestPartitionRecoversPlantedCommunities(t *testing.T) {
+	g, err := gen.PlantedPartition(4, 80, 600, 5, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Partition(g, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := partition.Fanout(g, a, 4)
+	randomF := partition.Fanout(g, partition.Random(g.NumData(), 4, 9), 4)
+	if f > randomF*0.6 {
+		t.Fatalf("multilevel fanout %v vs random %v: failed to find planted structure", f, randomF)
+	}
+}
+
+func TestMemoryBudgetTriggersOOM(t *testing.T) {
+	g := randomBipartite(t, 19, 500, 800, 6000)
+	_, err := Partition(g, Config{K: 4, Seed: 4, MemoryBudget: 1024})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("tiny budget should OOM, got %v", err)
+	}
+	// A generous budget succeeds.
+	if _, err := Partition(g, Config{K: 4, Seed: 4, MemoryBudget: 1 << 30}); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+func TestPartitionK1(t *testing.T) {
+	g := randomBipartite(t, 23, 20, 30, 100)
+	a, err := Partition(g, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range a {
+		if b != 0 {
+			t.Fatal("k=1 should assign all to 0")
+		}
+	}
+	if _, err := Partition(g, Config{K: 0}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestInducedPreservesWeights(t *testing.T) {
+	g := CliqueNet(randomBipartite(t, 29, 40, 60, 300), 64, 0)
+	sub := g.induced([]int32{0, 5, 10, 15, 20})
+	if sub.NumVertices() != 5 {
+		t.Fatal("induced size wrong")
+	}
+	if sub.vw[0] != g.vw[0] || sub.vw[2] != g.vw[10] {
+		t.Fatal("induced vertex weights wrong")
+	}
+}

@@ -1,0 +1,135 @@
+// Package par provides small helpers for data-parallel loops.
+//
+// The partitioner's hot loops (gain computation, neighbor-data aggregation)
+// are embarrassingly parallel over vertices. These helpers split an index
+// range into contiguous chunks, one batch per worker, so that per-worker
+// scratch buffers (the k-sized counting arrays from Section 3.3 of the paper)
+// can be reused without locking.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested parallelism: values <= 0 mean GOMAXPROCS.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// For runs fn(start, end) over disjoint contiguous chunks covering [0, n),
+// using the given number of workers. fn is called at most `workers` times
+// concurrently and each call receives a half-open range. Chunks are assigned
+// statically, so the decomposition is deterministic for a given (n, workers).
+func For(n, workers int, fn func(start, end int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForWorker is like For but also passes the worker index, so callers can
+// index into pre-allocated per-worker scratch state.
+func ForWorker(n, workers int, fn func(worker, start, end int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	idx := 0
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(id, s, e int) {
+			defer wg.Done()
+			fn(id, s, e)
+		}(idx, start, end)
+		idx++
+	}
+	wg.Wait()
+}
+
+// SumInt64 runs a parallel reduction: fn maps each chunk to a partial sum.
+func SumInt64(n, workers int, fn func(start, end int) int64) int64 {
+	workers = Workers(workers)
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	partials := make([]int64, workers)
+	ForWorker(n, workers, func(w, s, e int) {
+		partials[w] = fn(s, e)
+	})
+	var total int64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// SumFloat64 runs a parallel float64 reduction over chunks. The chunking (and
+// therefore the floating-point summation order) is deterministic for a given
+// (n, workers) pair.
+func SumFloat64(n, workers int, fn func(start, end int) float64) float64 {
+	workers = Workers(workers)
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	partials := make([]float64, workers)
+	ForWorker(n, workers, func(w, s, e int) {
+		partials[w] = fn(s, e)
+	})
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 1000} {
+			touched := make([]int32, n)
+			For(n, workers, func(s, e int) {
+				for i := s; i < e; i++ {
+					atomic.AddInt32(&touched[i], 1)
+				}
+			})
+			for i, c := range touched {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d touched %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerDistinctIDs(t *testing.T) {
+	const n, workers = 100, 4
+	seen := make([]int32, workers)
+	ForWorker(n, workers, func(w, s, e int) {
+		atomic.AddInt32(&seen[w], 1)
+	})
+	total := int32(0)
+	for _, c := range seen {
+		if c > 1 {
+			t.Fatalf("worker id reused: %v", seen)
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no workers ran")
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(0, 4, func(s, e int) { ran = true })
+	For(-3, 4, func(s, e int) { ran = true })
+	if ran {
+		t.Fatal("For ran chunks for non-positive n")
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) != 5")
+	}
+	if Workers(0) <= 0 {
+		t.Fatal("Workers(0) not positive")
+	}
+	if Workers(-1) <= 0 {
+		t.Fatal("Workers(-1) not positive")
+	}
+}
+
+func TestSumInt64MatchesSerial(t *testing.T) {
+	if err := quick.Check(func(nRaw uint16, workersRaw uint8) bool {
+		n := int(nRaw % 2000)
+		workers := int(workersRaw%8) + 1
+		got := SumInt64(n, workers, func(s, e int) int64 {
+			var sum int64
+			for i := s; i < e; i++ {
+				sum += int64(i)
+			}
+			return sum
+		})
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		return got == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumFloat64Deterministic(t *testing.T) {
+	f := func(s, e int) float64 {
+		sum := 0.0
+		for i := s; i < e; i++ {
+			sum += 1.0 / float64(i+1)
+		}
+		return sum
+	}
+	a := SumFloat64(100000, 4, f)
+	b := SumFloat64(100000, 4, f)
+	if a != b {
+		t.Fatalf("SumFloat64 not deterministic: %v != %v", a, b)
+	}
+}
+
+func TestSumFloat64CloseToSerial(t *testing.T) {
+	f := func(s, e int) float64 {
+		sum := 0.0
+		for i := s; i < e; i++ {
+			sum += 0.5
+		}
+		return sum
+	}
+	got := SumFloat64(999, 7, f)
+	if got != 499.5 {
+		t.Fatalf("SumFloat64 = %v, want 499.5", got)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(1024, 4, func(s, e int) {})
+	}
+}

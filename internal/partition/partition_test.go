@@ -1,0 +1,376 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shp/internal/hypergraph"
+	"shp/internal/rng"
+)
+
+// figure1 builds the paper's Figure 1 example (0-indexed).
+func figure1(t testing.TB) *hypergraph.Bipartite {
+	t.Helper()
+	g, err := hypergraph.FromHyperedges(6, [][]int32{
+		{0, 1, 5},
+		{0, 1, 2, 3},
+		{3, 4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFigure1Fanout(t *testing.T) {
+	g := figure1(t)
+	// V1 = {1,2,3} -> {0,1,2}, V2 = {4,5,6} -> {3,4,5}. Paper: fanouts 2,2,1.
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	if f := QueryFanout(g, a, 2, 0); f != 2 {
+		t.Fatalf("fanout(q0) = %d, want 2", f)
+	}
+	if f := QueryFanout(g, a, 2, 1); f != 2 {
+		t.Fatalf("fanout(q1) = %d, want 2", f)
+	}
+	if f := QueryFanout(g, a, 2, 2); f != 1 {
+		t.Fatalf("fanout(q2) = %d, want 1", f)
+	}
+	if f := Fanout(g, a, 2); math.Abs(f-5.0/3.0) > 1e-12 {
+		t.Fatalf("avg fanout = %v, want 5/3", f)
+	}
+}
+
+func TestPFanoutLimits(t *testing.T) {
+	g := figure1(t)
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	// Lemma 1: p -> 1 gives plain fanout.
+	if got, want := PFanout(g, a, 1-1e-12), Fanout(g, a, 2); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("p->1 limit: p-fanout %v, fanout %v", got, want)
+	}
+	// p-fanout(q) <= fanout(q) for all p.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		for q := int32(0); q < 3; q++ {
+			pf := PFanoutQuery(g, a, p, q)
+			f := float64(QueryFanout(g, a, 2, q))
+			if pf > f+1e-12 {
+				t.Fatalf("p=%v q=%d: p-fanout %v > fanout %v", p, q, pf, f)
+			}
+		}
+	}
+}
+
+func TestPFanoutMonotoneInP(t *testing.T) {
+	g := figure1(t)
+	a := Assignment{0, 1, 0, 1, 0, 1}
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		cur := PFanout(g, a, p)
+		if cur < prev-1e-12 {
+			t.Fatalf("p-fanout not monotone in p at p=%v: %v < %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestLemma2TaylorExpansion verifies the expansion behind Lemma 2: around
+// p = 0, Σ_q p-fanout(q) = |E|·p − p²·(within-bucket pair weight) + O(p³),
+// so minimizing p-fanout as p → 0 maximizes within-bucket clique-net weight,
+// i.e. minimizes the clique-net weighted edge-cut.
+func TestLemma2TaylorExpansion(t *testing.T) {
+	g := figure1(t)
+	// Total pair weight Σ_q C(deg(q), 2) is partition independent.
+	totalPairs := 0.0
+	for q := 0; q < g.NumQueries(); q++ {
+		n := float64(g.QueryDegree(int32(q)))
+		totalPairs += n * (n - 1) / 2
+	}
+	const p = 1e-4
+	for _, a := range []Assignment{
+		{0, 0, 0, 1, 1, 1},
+		{0, 1, 0, 1, 0, 1},
+		{1, 1, 0, 0, 1, 0},
+	} {
+		within := totalPairs - CliqueNetCut(g, a)
+		pf := 0.0
+		for q := 0; q < g.NumQueries(); q++ {
+			pf += PFanoutQuery(g, a, p, int32(q))
+		}
+		// Σ_q Σ_i (1-(1-p)^{n_i}) = Σ (n_i p - C(n_i,2) p² + O(p³)).
+		secondOrder := float64(g.NumEdges())*p - p*p*within
+		if math.Abs(pf-secondOrder) > 1e-9 {
+			t.Fatalf("Taylor mismatch: p-fanout=%v expansion=%v (diff %v)", pf, secondOrder, pf-secondOrder)
+		}
+	}
+}
+
+func TestCliqueNetCutMatchesExplicitGraph(t *testing.T) {
+	// Build the clique-net explicitly on a small random hypergraph and
+	// compare with the closed form.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		b := hypergraph.NewBuilder(8, 10)
+		for i := 0; i < 40; i++ {
+			b.AddEdge(int32(r.Intn(8)), int32(r.Intn(10)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		a := make(Assignment, 10)
+		for i := range a {
+			a[i] = int32(r.Intn(3))
+		}
+		// Explicit: w(u,v) = #common queries; cut = Σ w(u,v) over pairs in
+		// different buckets.
+		explicit := 0.0
+		for u := int32(0); u < 10; u++ {
+			for v := u + 1; v < 10; v++ {
+				if a[u] == a[v] {
+					continue
+				}
+				w := 0
+				for _, qu := range g.DataNeighbors(u) {
+					for _, qv := range g.DataNeighbors(v) {
+						if qu == qv {
+							w++
+						}
+					}
+				}
+				explicit += float64(w)
+			}
+		}
+		return math.Abs(explicit-CliqueNetCut(g, a)) < 1e-9
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSOEDFootnote(t *testing.T) {
+	// Footnote 2: SOED = communication volume + hyperedge cut, where
+	// communication volume = Σ_q (fanout(q) - 1).
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		b := hypergraph.NewBuilder(10, 12)
+		for i := 0; i < 50; i++ {
+			b.AddEdge(int32(r.Intn(10)), int32(r.Intn(12)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		const k = 4
+		a := make(Assignment, 12)
+		for i := range a {
+			a[i] = int32(r.Intn(k))
+		}
+		var commVolume int64
+		for q := 0; q < g.NumQueries(); q++ {
+			f := QueryFanout(g, a, k, int32(q))
+			if f > 0 {
+				commVolume += int64(f - 1)
+			}
+		}
+		return SOED(g, a, k) == float64(commVolume+HyperedgeCut(g, a, k))
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFanoutBounds(t *testing.T) {
+	// 1 <= fanout(q) <= min(k, deg(q)) for non-empty queries.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		b := hypergraph.NewBuilder(10, 20)
+		for i := 0; i < 60; i++ {
+			b.AddEdge(int32(r.Intn(10)), int32(r.Intn(20)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		const k = 5
+		a := make(Assignment, 20)
+		for i := range a {
+			a[i] = int32(r.Intn(k))
+		}
+		for q := 0; q < g.NumQueries(); q++ {
+			f := QueryFanout(g, a, k, int32(q))
+			deg := g.QueryDegree(int32(q))
+			if deg == 0 {
+				if f != 0 {
+					return false
+				}
+				continue
+			}
+			bound := k
+			if deg < bound {
+				bound = deg
+			}
+			if f < 1 || f > bound {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAssignmentBalanced(t *testing.T) {
+	const n, k = 100000, 8
+	a := Random(n, k, 42)
+	if err := a.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(a, k); imb > 0.05 {
+		t.Fatalf("random assignment imbalance %v too high", imb)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(1000, 4, 7)
+	b := Random(1000, 4, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random not deterministic")
+		}
+	}
+	c := Random(1000, 4, 8)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds gave identical assignment")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// 6 vertices, k=2, sizes 4 and 2: imbalance = 4/3 - 1 = 1/3.
+	a := Assignment{0, 0, 0, 0, 1, 1}
+	if imb := Imbalance(a, 2); math.Abs(imb-1.0/3.0) > 1e-12 {
+		t.Fatalf("imbalance = %v, want 1/3", imb)
+	}
+	// Perfect balance.
+	if imb := Imbalance(Assignment{0, 1, 0, 1}, 2); imb != 0 {
+		t.Fatalf("perfect balance imbalance = %v", imb)
+	}
+}
+
+func TestWeightedImbalance(t *testing.T) {
+	g, err := hypergraph.NewBuilder(1, 4).AddHyperedge(0, 0, 1, 2, 3).
+		SetDataWeights([]int32{3, 1, 1, 1}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets {0} weight 3, {1,2,3} weight 3: perfectly balanced by weight.
+	a := Assignment{0, 1, 1, 1}
+	if imb := WeightedImbalance(g, a, 2); math.Abs(imb) > 1e-12 {
+		t.Fatalf("weighted imbalance = %v, want 0", imb)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Assignment{0, 1}).Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Assignment{0, 2}).Validate(2); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := (Assignment{Unassigned}).Validate(2); err == nil {
+		t.Fatal("expected unassigned error")
+	}
+	if err := (Assignment{}).Validate(0); err == nil {
+		t.Fatal("expected k>=1 error")
+	}
+}
+
+func TestFanoutHistogram(t *testing.T) {
+	g := figure1(t)
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	hist := FanoutHistogram(g, a, 2)
+	if hist[1] != 1 || hist[2] != 2 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := figure1(t)
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	m := Measure(g, a, 2, 0.5)
+	if m.Fanout != Fanout(g, a, 2) || m.HyperedgeCut != 2 {
+		t.Fatalf("Measure = %+v", m)
+	}
+	if m.Imbalance != 0 {
+		t.Fatalf("imbalance = %v", m.Imbalance)
+	}
+}
+
+func TestQueryFanoutLargeK(t *testing.T) {
+	// More buckets than the stack buffer (64) exercises the append path.
+	const n = 200
+	hyperedge := make([]int32, n)
+	for i := range hyperedge {
+		hyperedge[i] = int32(i)
+	}
+	g, err := hypergraph.FromHyperedges(n, [][]int32{hyperedge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = int32(i) // every vertex its own bucket
+	}
+	if f := QueryFanout(g, a, n, 0); f != n {
+		t.Fatalf("fanout = %d, want %d", f, n)
+	}
+	if pf := PFanoutQuery(g, a, 0.5, 0); math.Abs(pf-float64(n)*0.5) > 1e-9 {
+		t.Fatalf("p-fanout = %v, want %v", pf, float64(n)*0.5)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Assignment{1, 2, 3}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func BenchmarkFanout(b *testing.B) {
+	r := rng.New(1)
+	hb := hypergraph.NewBuilder(20000, 40000)
+	for i := 0; i < 200000; i++ {
+		hb.AddEdge(int32(r.Intn(20000)), int32(r.Intn(40000)))
+	}
+	g, err := hb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := Random(40000, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fanout(g, a, 16)
+	}
+}
+
+func BenchmarkPFanout(b *testing.B) {
+	r := rng.New(1)
+	hb := hypergraph.NewBuilder(20000, 40000)
+	for i := 0; i < 200000; i++ {
+		hb.AddEdge(int32(r.Intn(20000)), int32(r.Intn(40000)))
+	}
+	g, err := hb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := Random(40000, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PFanout(g, a, 0.5)
+	}
+}

@@ -1,0 +1,332 @@
+package pregel
+
+import (
+	"math"
+	"testing"
+)
+
+// buildChain returns vertices 0..n-1; state holds a float64 distance.
+func buildChain(n int) []*Vertex {
+	vs := make([]*Vertex, n)
+	for i := range vs {
+		vs[i] = &Vertex{ID: VertexID(i), State: math.Inf(1)}
+	}
+	return vs
+}
+
+// TestSSSPChain runs single-source shortest paths on a path graph: the
+// canonical Pregel example exercises messaging, halting, and reactivation.
+func TestSSSPChain(t *testing.T) {
+	const n = 50
+	for _, workers := range []int{1, 3, 8} {
+		vs := buildChain(n)
+		eng, err := NewEngine(Options{
+			Workers:       workers,
+			MaxSupersteps: n + 2,
+			Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+				dist := v.State.(float64)
+				if ctx.Superstep() == 0 && v.ID == 0 {
+					dist = 0
+				}
+				for _, m := range msgs {
+					if d := m.(float64); d < dist {
+						dist = d
+					}
+				}
+				if dist < v.State.(float64) || (ctx.Superstep() == 0 && v.ID == 0) {
+					v.State = dist
+					if int(v.ID) < n-1 {
+						ctx.Send(v.ID+1, dist+1)
+					}
+				}
+				ctx.VoteToHalt()
+			},
+		}, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if got := eng.Vertex(VertexID(i)).State.(float64); got != float64(i) {
+				t.Fatalf("workers=%d: dist[%d] = %v, want %d", workers, i, got, i)
+			}
+		}
+		if stats.Supersteps < n {
+			t.Fatalf("workers=%d: finished in %d supersteps, chain needs >= %d", workers, stats.Supersteps, n)
+		}
+	}
+}
+
+func TestHaltsWhenAllInactive(t *testing.T) {
+	vs := buildChain(10)
+	eng, err := NewEngine(Options{
+		MaxSupersteps: 100,
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			ctx.VoteToHalt()
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 1 {
+		t.Fatalf("expected 1 superstep, got %d", stats.Supersteps)
+	}
+}
+
+func TestMasterHalt(t *testing.T) {
+	vs := buildChain(4)
+	eng, err := NewEngine(Options{
+		MaxSupersteps: 100,
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			// Keep everyone busy forever.
+			ctx.Send(v.ID, 1.0)
+		},
+		Master: func(step int, agg map[string]interface{}) (bool, map[string]interface{}) {
+			return step == 4, nil
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 5 {
+		t.Fatalf("master halt at step 4 should give 5 supersteps, got %d", stats.Supersteps)
+	}
+}
+
+func TestAggregatorSumAcrossWorkers(t *testing.T) {
+	vs := buildChain(100)
+	eng, err := NewEngine(Options{
+		Workers:       7,
+		MaxSupersteps: 2,
+		Aggregators:   map[string]AggregatorDef{"total": {New: func() Aggregator { return &SumAggregator{} }}},
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			if ctx.Superstep() == 0 {
+				ctx.Aggregate("total", float64(v.ID))
+				return // stay active to observe the value next superstep
+			}
+			v.State = ctx.ReadAggregator("total")
+			ctx.VoteToHalt()
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(99 * 100 / 2)
+	for i := 0; i < 100; i++ {
+		if got := eng.Vertex(VertexID(i)).State.(float64); got != want {
+			t.Fatalf("vertex %d read aggregator %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestMasterSetsAggregator(t *testing.T) {
+	vs := buildChain(3)
+	eng, err := NewEngine(Options{
+		MaxSupersteps: 3,
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			if ctx.Superstep() == 1 {
+				v.State = ctx.ReadAggregator("broadcast")
+				ctx.VoteToHalt()
+			}
+		},
+		Master: func(step int, agg map[string]interface{}) (bool, map[string]interface{}) {
+			if step == 0 {
+				return false, map[string]interface{}{"broadcast": 42.0}
+			}
+			return false, nil
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := eng.Vertex(VertexID(i)).State; got != 42.0 {
+			t.Fatalf("vertex %d got broadcast %v", i, got)
+		}
+	}
+}
+
+func TestCombinerReducesDelivery(t *testing.T) {
+	// 20 vertices all message vertex 0 with 1.0; a sum combiner should
+	// deliver a single combined message.
+	vs := buildChain(20)
+	var deliveredCount int
+	var deliveredSum float64
+	eng, err := NewEngine(Options{
+		Workers:       4,
+		MaxSupersteps: 2,
+		Combiner:      func(a, b Message) Message { return a.(float64) + b.(float64) },
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			if ctx.Superstep() == 0 {
+				ctx.Send(0, 1.0)
+				ctx.VoteToHalt()
+				return
+			}
+			if v.ID == 0 {
+				deliveredCount = len(msgs)
+				for _, m := range msgs {
+					deliveredSum += m.(float64)
+				}
+			}
+			ctx.VoteToHalt()
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredSum != 20 {
+		t.Fatalf("combined sum = %v, want 20", deliveredSum)
+	}
+	if deliveredCount != 1 {
+		t.Fatalf("combiner delivered %d messages, want 1", deliveredCount)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	vs := buildChain(10)
+	eng, err := NewEngine(Options{
+		Workers:       2,
+		MaxSupersteps: 2,
+		MessageBytes:  func(Message) int { return 8 },
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			if ctx.Superstep() == 0 {
+				ctx.Send((v.ID+1)%10, 1.0)
+			}
+			ctx.VoteToHalt()
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalMessages != 10 {
+		t.Fatalf("TotalMessages = %d, want 10", stats.TotalMessages)
+	}
+	if stats.TotalBytes != 80 {
+		t.Fatalf("TotalBytes = %d, want 80", stats.TotalBytes)
+	}
+	if stats.RemoteMessages == 0 || stats.RemoteMessages > 10 {
+		t.Fatalf("RemoteMessages = %d, want within (0, 10]", stats.RemoteMessages)
+	}
+	if len(stats.PerSuperstep) != stats.Supersteps {
+		t.Fatal("per-superstep stats length mismatch")
+	}
+}
+
+func TestSingleWorkerNoRemoteTraffic(t *testing.T) {
+	vs := buildChain(10)
+	eng, err := NewEngine(Options{
+		Workers:       1,
+		MaxSupersteps: 2,
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			if ctx.Superstep() == 0 {
+				ctx.Send((v.ID+1)%10, 1.0)
+			}
+			ctx.VoteToHalt()
+		},
+	}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteMessages != 0 {
+		t.Fatalf("single worker should have no remote messages, got %d", stats.RemoteMessages)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := NewEngine(Options{MaxSupersteps: 1}, nil); err == nil {
+		t.Fatal("missing Compute should error")
+	}
+	if _, err := NewEngine(Options{Compute: func(*Context, *Vertex, []Message) {}}, nil); err == nil {
+		t.Fatal("missing MaxSupersteps should error")
+	}
+	dup := []*Vertex{{ID: 1}, {ID: 1}}
+	if _, err := NewEngine(Options{Compute: func(*Context, *Vertex, []Message) {}, MaxSupersteps: 1}, dup); err == nil {
+		t.Fatal("duplicate ids should error")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// A computation whose result depends on received message order would be
+	// nondeterministic; engine delivery is sorted by destination and the
+	// compute below is order-insensitive (max), so results must agree.
+	run := func(workers int) []float64 {
+		vs := buildChain(30)
+		for i := range vs {
+			vs[i].State = float64(i)
+		}
+		eng, err := NewEngine(Options{
+			Workers:       workers,
+			MaxSupersteps: 10,
+			Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+				val := v.State.(float64)
+				for _, m := range msgs {
+					if m.(float64) > val {
+						val = m.(float64)
+					}
+				}
+				if val != v.State.(float64) || ctx.Superstep() == 0 {
+					v.State = val
+					ctx.Send((v.ID+1)%30, val)
+					ctx.Send((v.ID+7)%30, val)
+				}
+				ctx.VoteToHalt()
+			},
+		}, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 30)
+		for i := range out {
+			out[i] = eng.Vertex(VertexID(i)).State.(float64)
+		}
+		return out
+	}
+	a, b := run(1), run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker count changed result at vertex %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCountAggregator(t *testing.T) {
+	var a CountAggregator
+	a.Add(int64(3))
+	var b CountAggregator
+	b.Add(int64(4))
+	a.Merge(&b)
+	if a.Value().(int64) != 7 {
+		t.Fatalf("CountAggregator = %v", a.Value())
+	}
+}

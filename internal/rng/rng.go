@@ -1,0 +1,150 @@
+// Package rng provides a small, fast, deterministic random number generator.
+//
+// The partitioner must be reproducible: the paper's probabilistic swap
+// protocol flips one coin per candidate vertex per iteration, and we want the
+// same seed to yield the same partition regardless of goroutine scheduling.
+// To that end the generator is splittable: every (seed, stream) pair is an
+// independent deterministic sequence, so parallel loops derive a private
+// stream per vertex or per worker instead of sharing one locked source.
+//
+// The core is SplitMix64 (Steele, Lea, Flood; JDK 8's SplittableRandom),
+// which passes BigCrush and needs only one 64-bit word of state.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator. The zero value is a
+// valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// NewStream returns a generator for an independent stream derived from
+// (seed, stream). Distinct stream values yield statistically independent
+// sequences, which makes per-vertex and per-worker determinism cheap.
+func NewStream(seed, stream uint64) *RNG {
+	// Mix the stream id through one splitmix step so that consecutive
+	// stream ids do not produce correlated initial states.
+	return &RNG{state: mix64(seed + stream*0x9E3779B97F4A7C15)}
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int31n returns a uniform int32 in [0, n). It panics if n <= 0.
+func (r *RNG) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("rng: Int31n with non-positive n")
+	}
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits.
+	threshold := -n % n // (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the pair's second value is discarded for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// CoinAt returns a deterministic uniform [0,1) value for a (seed, key) pair
+// without allocating: the coin any party would flip for a given vertex and
+// iteration. This is how the distributed and single-machine implementations
+// make identical move decisions.
+func CoinAt(seed, key uint64) float64 {
+	return float64(mix64(seed^mix64(key))>>11) / (1 << 53)
+}
+
+// Mix combines two 64-bit values into one well-distributed value; useful for
+// building CoinAt keys from (iteration, vertex) pairs.
+func Mix(a, b uint64) uint64 {
+	return mix64(a*0x9E3779B97F4A7C15 + b)
+}

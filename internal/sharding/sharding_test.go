@@ -1,0 +1,183 @@
+package sharding
+
+import (
+	"math"
+	"testing"
+
+	"shp/internal/core"
+	"shp/internal/gen"
+	"shp/internal/partition"
+	"shp/internal/rng"
+)
+
+func TestSampleMeanIsOne(t *testing.T) {
+	m := LatencyModel{}
+	r := rng.New(1)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += m.Sample(r)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("single-request mean = %v, want ~1 (latencies are in units of t)", mean)
+	}
+}
+
+func TestSamplePositive(t *testing.T) {
+	m := LatencyModel{}
+	r := rng.New(2)
+	for i := 0; i < 10000; i++ {
+		if l := m.Sample(r); l <= 0 {
+			t.Fatalf("non-positive latency %v", l)
+		}
+	}
+}
+
+func TestMultiGetIsMax(t *testing.T) {
+	// With more parallel requests, latency can only grow stochastically.
+	m := LatencyModel{}
+	r1 := rng.New(3)
+	r40 := rng.New(3)
+	one := make([]int, 1)
+	forty := make([]int, 40)
+	for i := range one {
+		one[i] = 1
+	}
+	for i := range forty {
+		forty[i] = 1
+	}
+	var sum1, sum40 float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum1 += m.MultiGet(r1, one)
+		sum40 += m.MultiGet(r40, forty)
+	}
+	if sum40 <= sum1*1.5 {
+		t.Fatalf("fanout-40 mean %v should be well above fanout-1 mean %v", sum40/n, sum1/n)
+	}
+}
+
+func TestSizeCost(t *testing.T) {
+	m := LatencyModel{SizeCost: 1.0}
+	r := rng.New(4)
+	small := m.MultiGet(r, []int{1})
+	r = rng.New(4)
+	big := m.MultiGet(r, []int{100})
+	if big <= small {
+		t.Fatalf("size cost had no effect: %v vs %v", small, big)
+	}
+}
+
+func TestLatencyVsFanoutShape(t *testing.T) {
+	rows := LatencyVsFanout(LatencyModel{}, 40, 4000, 5)
+	if len(rows) != 40 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if !(row.P50 <= row.P90 && row.P90 <= row.P95 && row.P95 <= row.P99) {
+			t.Fatalf("fanout %d: percentiles not ordered: %+v", row.Fanout, row)
+		}
+	}
+	// Figure 4a's headline: halving fanout 40 -> 10 roughly halves latency.
+	f40, f10, f1 := rows[39], rows[9], rows[0]
+	if f40.Mean <= f10.Mean || f10.Mean <= f1.Mean {
+		t.Fatalf("mean latency not increasing in fanout: f1=%v f10=%v f40=%v", f1.Mean, f10.Mean, f40.Mean)
+	}
+	ratio := f40.Mean / f10.Mean
+	if ratio < 1.2 {
+		t.Fatalf("fanout 40 vs 10 latency ratio %v too small to reproduce Figure 4's effect", ratio)
+	}
+	// The p99 curve dominates the median at every fanout.
+	if f40.P99 < f40.P50 {
+		t.Fatal("p99 below p50")
+	}
+}
+
+func TestLatencyVsFanoutDeterministic(t *testing.T) {
+	a := LatencyVsFanout(LatencyModel{}, 5, 1000, 7)
+	b := LatencyVsFanout(LatencyModel{}, 5, 1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestClusterQueryFanout(t *testing.T) {
+	assignment := partition.Assignment{0, 0, 1, 2}
+	c, err := NewCluster(3, assignment, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	f, lat := c.Query(r, []int32{0, 1, 2, 3})
+	if f != 3 {
+		t.Fatalf("fanout = %d, want 3", f)
+	}
+	if lat <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	f, _ = c.Query(r, []int32{0, 1})
+	if f != 1 {
+		t.Fatalf("single-server query fanout = %d", f)
+	}
+}
+
+func TestNewClusterValidates(t *testing.T) {
+	if _, err := NewCluster(0, partition.Assignment{}, LatencyModel{}); err == nil {
+		t.Fatal("0 servers should error")
+	}
+	if _, err := NewCluster(2, partition.Assignment{5}, LatencyModel{}); err == nil {
+		t.Fatal("out-of-range assignment should error")
+	}
+}
+
+// TestSocialVsRandomSharding reproduces Figure 4b's conclusion: SHP-based
+// sharding cuts both fanout and latency versus random sharding on a
+// social workload.
+func TestSocialVsRandomSharding(t *testing.T) {
+	g, err := gen.SocialEgoNets(2000, 12, 50, 0.85, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const servers = 40
+	res, err := core.Partition(g, core.Options{K: servers, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, err := NewCluster(servers, res.Assignment, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := NewCluster(servers, partition.Random(g.NumData(), servers, 11), LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := social.ReplayQueries(g, 12, 1)
+	mr := random.ReplayQueries(g, 12, 1)
+	if ms.AvgFanout >= mr.AvgFanout*0.8 {
+		t.Fatalf("social sharding fanout %v not clearly below random %v", ms.AvgFanout, mr.AvgFanout)
+	}
+	if ms.AvgLat >= mr.AvgLat {
+		t.Fatalf("social sharding latency %v not below random %v", ms.AvgLat, mr.AvgLat)
+	}
+}
+
+func TestReplayQueriesMinCount(t *testing.T) {
+	g, err := gen.PlantedPartition(2, 20, 50, 4, 0.9, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(2, gen.GroundTruth(2, 20), LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.ReplayQueries(g, 14, 10000)
+	if len(m.Rows) != 0 {
+		t.Fatal("minCount filter should drop all rows")
+	}
+	m = c.ReplayQueries(g, 14, 1)
+	if len(m.Rows) == 0 {
+		t.Fatal("expected rows with minCount 1")
+	}
+}

@@ -1,0 +1,253 @@
+// Package shp is the public API of the Social Hash Partitioner: scalable
+// balanced k-way hypergraph partitioning that minimizes fanout by local
+// search on the probabilistic-fanout objective (Kabiljo et al., "Social
+// Hash Partitioner: A Scalable Distributed Hypergraph Partitioner",
+// VLDB 2017).
+//
+// A hypergraph is represented as a bipartite graph between queries
+// (hyperedges) and data vertices. Partitioning splits the data vertices
+// into K balanced buckets so that the average number of buckets a query
+// touches — its fanout — is minimized. In storage sharding, buckets are
+// servers and low fanout means fewer, faster multi-get requests.
+//
+// Quickstart:
+//
+//	g, _ := shp.FromHyperedges(6, [][]int32{{0, 1, 5}, {0, 1, 2, 3}, {3, 4, 5}})
+//	res, _ := shp.Partition(g, shp.Options{K: 2, Seed: 42})
+//	fmt.Println(shp.Fanout(g, res.Assignment, 2))
+//
+// The two execution strategies from the paper are both available:
+// recursive bisection (SHP-2, the default and the open-sourced variant) and
+// direct k-way refinement (SHP-k, Options.Direct). PartitionDistributed
+// runs the same algorithm through a vertex-centric BSP engine that
+// simulates a Giraph cluster, including message accounting.
+package shp
+
+import (
+	"io"
+
+	"shp/internal/core"
+	"shp/internal/distshp"
+	"shp/internal/gen"
+	"shp/internal/hgio"
+	"shp/internal/hypergraph"
+	"shp/internal/multilevel"
+	"shp/internal/partition"
+	"shp/internal/sharding"
+)
+
+// Hypergraph is the bipartite query–data representation of a hypergraph:
+// every query vertex corresponds to one hyperedge spanning the data
+// vertices adjacent to it.
+type Hypergraph = hypergraph.Bipartite
+
+// Builder incrementally assembles a Hypergraph.
+type Builder = hypergraph.Builder
+
+// Edge is one (query, data) incidence.
+type Edge = hypergraph.Edge
+
+// NewBuilder creates a builder for a graph with numQueries hyperedges and
+// numData data vertices.
+func NewBuilder(numQueries, numData int) *Builder {
+	return hypergraph.NewBuilder(numQueries, numData)
+}
+
+// FromEdges builds a hypergraph from an incidence list.
+func FromEdges(numQueries, numData int, edges []Edge) (*Hypergraph, error) {
+	return hypergraph.FromEdges(numQueries, numData, edges)
+}
+
+// FromHyperedges builds a hypergraph from explicit hyperedge vertex lists.
+func FromHyperedges(numData int, hyperedges [][]int32) (*Hypergraph, error) {
+	return hypergraph.FromHyperedges(numData, hyperedges)
+}
+
+// PruneTrivialQueries removes hyperedges smaller than minDegree; the paper
+// prunes isolated and degree-one queries, whose fanout is fixed at one.
+func PruneTrivialQueries(g *Hypergraph, minDegree int) *Hypergraph {
+	return hypergraph.PruneTrivialQueries(g, minDegree)
+}
+
+// ReadHMetis parses the hMetis/PaToH ".hgr" hypergraph format.
+func ReadHMetis(r io.Reader) (*Hypergraph, error) { return hgio.ReadHMetis(r) }
+
+// WriteHMetis writes the hMetis format.
+func WriteHMetis(w io.Writer, g *Hypergraph) error { return hgio.WriteHMetis(w, g) }
+
+// ReadEdgeList parses a "q d" bipartite edge list.
+func ReadEdgeList(r io.Reader) (*Hypergraph, error) { return hgio.ReadEdgeList(r) }
+
+// WriteEdgeList writes the bipartite edge-list format.
+func WriteEdgeList(w io.Writer, g *Hypergraph) error { return hgio.WriteEdgeList(w, g) }
+
+// ReadAssignment reads one bucket id per line.
+func ReadAssignment(r io.Reader) ([]int32, error) { return hgio.ReadAssignment(r) }
+
+// WriteAssignment writes one bucket id per line.
+func WriteAssignment(w io.Writer, a []int32) error { return hgio.WriteAssignment(w, a) }
+
+// Assignment maps each data vertex to its bucket.
+type Assignment = partition.Assignment
+
+// Options configures Partition; the zero value plus K uses the paper's
+// recommended defaults (p = 0.5, ε = 0.05, recursive bisection with
+// histogram pairing and final-p-fanout lookahead).
+type Options = core.Options
+
+// Result is a finished partitioning with per-iteration history.
+type Result = core.Result
+
+// IterStats records one refinement iteration.
+type IterStats = core.IterStats
+
+// Objective selects the optimization target.
+type Objective = core.Objective
+
+// Objectives: probabilistic fanout (default), plain fanout (p -> 1), and
+// the clique-net weighted edge-cut (p -> 0, Lemma 2).
+const (
+	ObjPFanout   = core.ObjPFanout
+	ObjFanout    = core.ObjFanout
+	ObjCliqueNet = core.ObjCliqueNet
+)
+
+// PairingMode selects the swap protocol used to preserve balance.
+type PairingMode = core.PairingMode
+
+// Pairing modes: Section 3.4's gain histograms (default), Algorithm 1's
+// S-matrix, and the exact sorted-queue reference.
+const (
+	PairHistogram = core.PairHistogram
+	PairSimple    = core.PairSimple
+	PairExact     = core.PairExact
+)
+
+// Partition runs SHP on g: recursive bisection by default, direct k-way
+// with Options.Direct.
+func Partition(g *Hypergraph, opts Options) (*Result, error) {
+	return core.Partition(g, opts)
+}
+
+// MultiDimOptions configures multi-dimensionally balanced partitioning.
+type MultiDimOptions = core.MultiDimOptions
+
+// MultiDimResult reports the merged partition and per-dimension loads.
+type MultiDimResult = core.MultiDimResult
+
+// PartitionMultiDim implements Section 5's heuristic for balance across
+// several load dimensions: over-partition into C*K buckets, then merge to K
+// while balancing every dimension.
+func PartitionMultiDim(g *Hypergraph, opts MultiDimOptions) (*MultiDimResult, error) {
+	return core.PartitionMultiDim(g, opts)
+}
+
+// DistributedOptions configures PartitionDistributed.
+type DistributedOptions = distshp.Options
+
+// DistributedResult is a finished distributed partitioning with engine
+// statistics (per-superstep message and byte counts).
+type DistributedResult = distshp.Result
+
+// PartitionDistributed runs SHP-2 through the vertex-centric BSP engine
+// (the paper's Giraph implementation, Figure 3): four supersteps per
+// refinement iteration, master-side histogram pairing, and incremental
+// neighbor-data maintenance. K must be a power of two.
+func PartitionDistributed(g *Hypergraph, opts DistributedOptions) (*DistributedResult, error) {
+	return distshp.Partition(g, opts)
+}
+
+// MultilevelConfig configures the baseline multilevel partitioner.
+type MultilevelConfig = multilevel.Config
+
+// ErrOutOfMemory is returned by PartitionMultilevel when the configured
+// memory budget is exceeded (the Section 2 failure mode of the multilevel
+// tools).
+var ErrOutOfMemory = multilevel.ErrOutOfMemory
+
+// PartitionMultilevel runs the clique-net multilevel baseline
+// (coarsen / FM-refine / recurse), the stand-in for hMetis, PaToH,
+// Mondriaan, Parkway, and Zoltan in comparisons.
+func PartitionMultilevel(g *Hypergraph, cfg MultilevelConfig) (Assignment, error) {
+	return multilevel.Partition(g, cfg)
+}
+
+// Fanout returns the average query fanout, the paper's headline metric.
+func Fanout(g *Hypergraph, a Assignment, k int) float64 {
+	return partition.Fanout(g, a, k)
+}
+
+// PFanout returns the average probabilistic fanout with probability p.
+func PFanout(g *Hypergraph, a Assignment, p float64) float64 {
+	return partition.PFanout(g, a, p)
+}
+
+// CliqueNetCut returns the weighted edge-cut of the clique-net graph
+// (Lemma 2) without materializing it.
+func CliqueNetCut(g *Hypergraph, a Assignment) float64 {
+	return partition.CliqueNetCut(g, a)
+}
+
+// SOED returns the sum of external degrees.
+func SOED(g *Hypergraph, a Assignment, k int) float64 {
+	return partition.SOED(g, a, k)
+}
+
+// Imbalance returns max bucket size over the ideal n/k, minus one.
+func Imbalance(a Assignment, k int) float64 {
+	return partition.Imbalance(a, k)
+}
+
+// Metrics bundles every objective for reporting.
+type Metrics = partition.Metrics
+
+// Measure computes all metrics in one call.
+func Measure(g *Hypergraph, a Assignment, k int, p float64) Metrics {
+	return partition.Measure(g, a, k, p)
+}
+
+// RandomAssignment assigns each of n vertices a uniform random bucket, the
+// paper's initialization and the natural baseline.
+func RandomAssignment(n, k int, seed uint64) Assignment {
+	return partition.Random(n, k, seed)
+}
+
+// GeneratePowerLawBipartite synthesizes a bipartite hypergraph with
+// power-law degrees (web/social graph shape).
+func GeneratePowerLawBipartite(numQ, numD int, numEdges int64, exponent float64, seed uint64) (*Hypergraph, error) {
+	return gen.PowerLawBipartite(numQ, numD, numEdges, exponent, seed)
+}
+
+// GenerateSocialEgoNets synthesizes a community-structured friendship graph
+// and returns its ego-net hypergraph (the storage-sharding workload).
+func GenerateSocialEgoNets(n, avgDeg, communitySize int, intraProb float64, seed uint64) (*Hypergraph, error) {
+	return gen.SocialEgoNets(n, avgDeg, communitySize, intraProb, seed)
+}
+
+// GeneratePlantedPartition synthesizes a hypergraph with k planted
+// communities of perGroup vertices each.
+func GeneratePlantedPartition(k, perGroup, numQ, qdeg int, purity float64, seed uint64) (*Hypergraph, error) {
+	return gen.PlantedPartition(k, perGroup, numQ, qdeg, purity, seed)
+}
+
+// LatencyModel generates per-request latencies for the sharding simulator
+// (lognormal body, straggler tail, mean 1).
+type LatencyModel = sharding.LatencyModel
+
+// Cluster is a sharded key-value store simulation.
+type Cluster = sharding.Cluster
+
+// ShardingMeasurement aggregates a replayed multi-get workload.
+type ShardingMeasurement = sharding.Measurement
+
+// NewCluster wraps an assignment of records to servers together with a
+// latency model.
+func NewCluster(servers int, a Assignment, m LatencyModel) (*Cluster, error) {
+	return sharding.NewCluster(servers, a, m)
+}
+
+// LatencyVsFanout samples multi-get latency percentiles per fanout
+// (Figure 4a's experiment).
+func LatencyVsFanout(m LatencyModel, maxFanout, samples int, seed uint64) []sharding.PercentileRow {
+	return sharding.LatencyVsFanout(m, maxFanout, samples, seed)
+}
