@@ -146,6 +146,50 @@ func BenchmarkPartitionDistributed(b *testing.B) {
 	b.ReportMetric(remote, "remote-msgs")
 }
 
+// ---- Message-plane benchmarks ----
+//
+// These record the distributed engine's communication volume per backend so
+// future PRs have a perf trajectory to beat: remote envelope counts are
+// post-sender-side-combining, and bytes are measured rather than callback
+// estimates. The two backends measure different populations — the in-process
+// plane charges the codec size of every message (local included), the TCP
+// plane charges the frames that actually crossed sockets (remote only,
+// headers included) — so compare msg-bytes within a backend, not across.
+
+func BenchmarkMessagePlane(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	cases := []struct {
+		name      string
+		transport func() shp.Transport
+		noCombine bool
+	}{
+		{"memory", shp.MemoryTransport, false},
+		{"memory-nocombine", shp.MemoryTransport, true},
+		{"tcp", shp.TCPTransport, false},
+		{"tcp-nocombine", shp.TCPTransport, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var remoteMsgs, bytes, bytesPerSuperstep float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.PartitionDistributed(g, shp.DistributedOptions{
+					K: 16, Seed: 1, Workers: 4, ItersPerLevel: 5,
+					Transport: tc.transport(), DisableCombining: tc.noCombine,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				remoteMsgs = float64(res.Stats.RemoteMessages)
+				bytes = float64(res.Stats.TotalBytes)
+				bytesPerSuperstep = bytes / float64(res.Stats.Supersteps)
+			}
+			b.ReportMetric(remoteMsgs, "remote-msgs")
+			b.ReportMetric(bytes, "msg-bytes")
+			b.ReportMetric(bytesPerSuperstep, "bytes/superstep")
+		})
+	}
+}
+
 func BenchmarkMetricsFanout(b *testing.B) {
 	g := benchGraph(b, "powerlaw-medium")
 	a := shp.RandomAssignment(g.NumData(), 32, 1)

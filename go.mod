@@ -1,0 +1,3 @@
+module shp
+
+go 1.24.0

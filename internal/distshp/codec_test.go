@@ -1,0 +1,74 @@
+package distshp
+
+import (
+	"reflect"
+	"testing"
+
+	"shp/internal/pregel"
+)
+
+func roundTrip(t *testing.T, c pregel.Codec, m pregel.Message) {
+	t.Helper()
+	buf, err := c.Append(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != c.Size(m) {
+		t.Fatalf("%T: Size = %d but Append wrote %d bytes", m, c.Size(m), len(buf))
+	}
+	got, used, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("%T: decode consumed %d of %d bytes", m, used, len(buf))
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("%T round trip: got %+v, want %+v", m, got, m)
+	}
+}
+
+func TestWireCodecs(t *testing.T) {
+	roundTrip(t, bucketCodec{}, msgBucket{Data: 7, New: 3})
+	roundTrip(t, bucketCodec{}, msgBucket{Data: 1 << 30, New: 6})
+	roundTrip(t, gainCodec{}, msgGain{Cur: 1.5, Oth: -2.25})
+	roundTrip(t, gainCodec{}, msgGain{})
+	roundTrip(t, bucketBatchCodec{}, msgBucketBatch{
+		{Data: 1, New: 0},
+		{Data: 2, New: 1},
+		{Data: 3, New: 1},
+	})
+}
+
+func TestCodecTruncation(t *testing.T) {
+	if _, _, err := (bucketCodec{}).Decode([]byte{1, 2}); err == nil {
+		t.Fatal("truncated msgBucket should fail")
+	}
+	if _, _, err := (gainCodec{}).Decode(make([]byte, 15)); err == nil {
+		t.Fatal("truncated msgGain should fail")
+	}
+	if _, _, err := (bucketBatchCodec{}).Decode([]byte{200}); err == nil {
+		t.Fatal("truncated batch count should fail")
+	}
+	if _, _, err := (bucketBatchCodec{}).Decode([]byte{3, 0, 0}); err == nil {
+		t.Fatal("batch count exceeding payload should fail")
+	}
+}
+
+func TestCombineSemantics(t *testing.T) {
+	g := combine(msgGain{Cur: 1, Oth: 2}, msgGain{Cur: 3, Oth: 4}).(msgGain)
+	if g.Cur != 4 || g.Oth != 6 {
+		t.Fatalf("msgGain combine = %+v", g)
+	}
+	a := msgBucket{Data: 1}
+	b := msgBucket{Data: 2}
+	c := msgBucket{Data: 3}
+	batch := combine(combine(a, b), c).(msgBucketBatch)
+	if len(batch) != 3 || batch[0].Data != 1 || batch[2].Data != 3 {
+		t.Fatalf("bucket batching = %+v", batch)
+	}
+	merged := combine(combine(a, b), combine(c, msgBucket{Data: 4})).(msgBucketBatch)
+	if len(merged) != 4 {
+		t.Fatalf("batch-batch combine = %+v", merged)
+	}
+}

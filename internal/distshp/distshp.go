@@ -54,6 +54,14 @@ type Options struct {
 	Workers int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Transport selects the engine's message-plane backend (nil means the
+	// in-process transport; pregel.TCPTransport() ships real frames over
+	// loopback sockets). Partitions are transport-invariant for a fixed
+	// seed.
+	Transport pregel.Transport
+	// DisableCombining turns off sender-side message combining (ablation:
+	// the combined run moves strictly fewer cross-worker envelopes).
+	DisableCombining bool
 	// DisableLookahead turns off the final-p-fanout approximation.
 	DisableLookahead bool
 	// DisableDirtyOnly makes data vertices re-send their bucket to queries
@@ -100,19 +108,51 @@ type Result struct {
 
 // message kinds exchanged between vertices.
 type (
-	// msgBucket: data -> query, "I am now in bucket New (was Old)".
+	// msgBucket: data -> query, "I am now in bucket New". Queries key
+	// their incremental neighbor-data maintenance on Data alone (first
+	// sight registers, later sights move), so that pair is the entire
+	// wire payload.
 	msgBucket struct {
-		Data  int32
-		Old   int32 // -1 on (re-)registration at a level start
-		New   int32
-		Level int
+		Data int32
+		New  int32
 	}
-	// msgND: query -> data, the two neighbor-data entries for the
-	// receiver's sibling pair.
-	msgND struct {
-		N0, N1 int32 // counts in sibling buckets (2b, 2b+1)... relative to pair
+	// msgBucketBatch is the sender-side-combined form of msgBucket: all of
+	// one worker's bucket updates for one query, shipped as a single
+	// envelope (Giraph-style message batching on the count-aggregation
+	// superstep).
+	msgBucketBatch []msgBucket
+	// msgGain: query -> data, the neighbor-data contribution to the
+	// receiver's Equation 1 gain, already mapped through the level's gain
+	// table. This is the combinable reduction of the paper's r = 2
+	// neighbor-data counts (Section 3.3): contributions from different
+	// queries simply add, so sender-side combining collapses each worker's
+	// per-data traffic to one message.
+	msgGain struct {
+		Cur, Oth float64 // sum of T[n(current bucket)-1] and T[n(sibling)]
 	}
 )
+
+// combine is the engine combiner: msgGain adds; msgBucket batches. The
+// engine applies it in the per-destination outbox, so both cut the envelope
+// count that crosses workers.
+func combine(a, b pregel.Message) pregel.Message {
+	switch x := a.(type) {
+	case msgGain:
+		y := b.(msgGain)
+		return msgGain{Cur: x.Cur + y.Cur, Oth: x.Oth + y.Oth}
+	case msgBucket:
+		if y, ok := b.(msgBucket); ok {
+			return msgBucketBatch{x, y}
+		}
+		return append(msgBucketBatch{x}, b.(msgBucketBatch)...)
+	case msgBucketBatch:
+		if y, ok := b.(msgBucket); ok {
+			return append(x, y)
+		}
+		return append(x, b.(msgBucketBatch)...)
+	}
+	panic(fmt.Sprintf("distshp: uncombinable message %T", a))
+}
 
 // dataState is the per-data-vertex state.
 type dataState struct {
@@ -268,7 +308,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		case *dataState:
 			computeData(ctx, g, st, msgs, opts, tables)
 		case *queryState:
-			computeQuery(ctx, g, st, msgs)
+			computeQuery(ctx, g, st, msgs, tables)
 		}
 	}
 
@@ -354,7 +394,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		}
 	}
 
-	eng, err := pregel.NewEngine(pregel.Options{
+	engOpts := pregel.Options{
 		Workers:       opts.Workers,
 		Compute:       compute,
 		Master:        master,
@@ -364,17 +404,13 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 			"weights":   {New: newWeightAgg},
 			"moved":     {New: func() pregel.Aggregator { return &pregel.CountAggregator{} }},
 		},
-		MessageBytes: func(m pregel.Message) int {
-			switch m.(type) {
-			case msgBucket:
-				return 12
-			case msgND:
-				return 8
-			default:
-				return 8
-			}
-		},
-	}, vertices)
+		Transport: opts.Transport,
+		Codecs:    newRegistry(),
+	}
+	if !opts.DisableCombining {
+		engOpts.Combiner = combine
+	}
+	eng, err := pregel.NewEngine(engOpts, vertices)
 	if err != nil {
 		return nil, err
 	}
@@ -435,35 +471,26 @@ func computeData(ctx *pregel.Context, g *hypergraph.Bipartite, st *dataState,
 			st.moved = false
 			// (Re-)register with all queries.
 			for _, q := range g.DataNeighbors(st.d) {
-				ctx.Send(pregel.VertexID(g.NumData()+int(q)), msgBucket{Data: st.d, Old: -1, New: st.bucket, Level: level})
+				ctx.Send(pregel.VertexID(g.NumData()+int(q)), msgBucket{Data: st.d, New: st.bucket})
 			}
 		} else if st.moved || opts.DisableDirtyOnly {
-			oldSibling := st.bucket ^ 1
-			old := oldSibling
-			if !st.moved {
-				old = st.bucket
-			}
 			for _, q := range g.DataNeighbors(st.d) {
-				ctx.Send(pregel.VertexID(g.NumData()+int(q)), msgBucket{Data: st.d, Old: old, New: st.bucket, Level: level})
+				ctx.Send(pregel.VertexID(g.NumData()+int(q)), msgBucket{Data: st.d, New: st.bucket})
 			}
 			st.moved = false
 		}
 	case 1:
 		// Queries act; data idles.
 	case 2:
-		// Receive neighbor data, compute the Equation 1 gain for moving to
-		// the sibling bucket, and propose.
+		// Receive the (possibly pre-combined) neighbor-data gain
+		// contributions and propose the Equation 1 gain for moving to the
+		// sibling bucket.
 		tb := tables[level]
 		sumCur, sumOth := 0.0, 0.0
-		side := st.bucket & 1
 		for _, m := range msgs {
-			nd := m.(msgND)
-			nCur, nOth := nd.N0, nd.N1
-			if side == 1 {
-				nCur, nOth = nd.N1, nd.N0
-			}
-			sumCur += tb.T[nCur-1]
-			sumOth += tb.T[nOth]
+			gc := m.(msgGain)
+			sumCur += gc.Cur
+			sumOth += gc.Oth
 		}
 		st.gain = tb.Mult() * (sumCur - sumOth)
 		ctx.Aggregate("proposals", proposal{key: directionKey(st.bucket), gain: st.gain})
@@ -499,9 +526,13 @@ func directionKey(bucket int32) uint64 {
 }
 
 // computeQuery is the query-vertex program: maintain neighbor data
-// incrementally (superstep 0's messages) and distribute the per-pair counts
-// (superstep 1).
-func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState, msgs []pregel.Message) {
+// incrementally (superstep 0's messages, possibly batched by the sender-side
+// combiner) and distribute each adjacent data vertex's gain contribution —
+// its sibling pair's counts mapped through the level's gain table, the
+// combinable form of the paper's r = 2 neighbor-data reduction (superstep 1).
+func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState,
+	msgs []pregel.Message, tables []core.GainTables) {
+
 	phase := ctx.Superstep() % 4
 	level := 0
 	if v := ctx.ReadAggregator("level"); v != nil {
@@ -515,8 +546,7 @@ func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState, 
 			st.counts = map[int32]int32{}
 			st.dataBucket = map[int32]int32{}
 		}
-		for _, m := range msgs {
-			mb := m.(msgBucket)
+		apply := func(mb msgBucket) {
 			if prev, ok := st.dataBucket[mb.Data]; ok {
 				st.counts[prev]--
 				if st.counts[prev] == 0 {
@@ -526,11 +556,26 @@ func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState, 
 			st.dataBucket[mb.Data] = mb.New
 			st.counts[mb.New]++
 		}
-		// Send each adjacent data vertex its sibling pair's counts.
-		for d, b := range st.dataBucket {
-			pair := b &^ 1
-			nd := msgND{N0: st.counts[pair], N1: st.counts[pair|1]}
-			ctx.Send(pregel.VertexID(int(d)), nd)
+		for _, m := range msgs {
+			switch mb := m.(type) {
+			case msgBucket:
+				apply(mb)
+			case msgBucketBatch:
+				for _, u := range mb {
+					apply(u)
+				}
+			}
+		}
+		// Send each adjacent data vertex its gain contribution. Iterating
+		// adjacency (not the dataBucket map) keeps send order — and with it
+		// uncombined floating-point summation order — deterministic.
+		tb := tables[level]
+		for _, d := range g.QueryNeighbors(st.q) {
+			b, ok := st.dataBucket[d]
+			if !ok {
+				continue
+			}
+			ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[st.counts[b]-1], Oth: tb.T[st.counts[b^1]]})
 		}
 	}
 }

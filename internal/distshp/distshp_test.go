@@ -6,6 +6,7 @@ import (
 	"shp/internal/core"
 	"shp/internal/hypergraph"
 	"shp/internal/partition"
+	"shp/internal/pregel"
 	"shp/internal/rng"
 )
 
@@ -140,6 +141,92 @@ func TestCommunicationBoundedByFanoutTimesEdges(t *testing.T) {
 	bound := 2.5 * float64(g.NumEdges()) // bucket sends + ND sends + slack
 	if perIter > bound {
 		t.Fatalf("messages per iteration %v exceed O(|E|) bound %v", perIter, bound)
+	}
+}
+
+func TestTransportEquivalence(t *testing.T) {
+	// The same seed must produce a byte-identical bucket assignment whether
+	// messages move in-process or over loopback TCP sockets.
+	g := randomBipartite(t, 29, 250, 400, 2000)
+	mem, err := Partition(g, Options{K: 4, Seed: 11, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := Partition(g, Options{K: 4, Seed: 11, Workers: 4, Transport: pregel.TCPTransport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mem.Assignment {
+		if mem.Assignment[i] != tcp.Assignment[i] {
+			t.Fatalf("transports disagree at vertex %d: %d vs %d", i, mem.Assignment[i], tcp.Assignment[i])
+		}
+	}
+	if mem.Stats.TotalMessages != tcp.Stats.TotalMessages ||
+		mem.Stats.RemoteMessages != tcp.Stats.RemoteMessages {
+		t.Fatalf("message accounting differs across transports: %+v vs %+v", mem.Stats, tcp.Stats)
+	}
+	// TCP bytes come from encoded frames on the wire, not an estimate.
+	if tcp.Stats.TotalBytes == 0 {
+		t.Fatal("TCP run measured zero wire bytes")
+	}
+	if tcp.Stats.TotalBytes == mem.Stats.TotalBytes {
+		t.Fatal("TCP bytes should be framed wire truth, not the in-process size accounting")
+	}
+}
+
+func TestCombinerReducesCrossWorkerTraffic(t *testing.T) {
+	// Sender-side combining must strictly reduce the envelopes (and bytes)
+	// crossing workers while leaving partition quality in the same place:
+	// the move protocol is unchanged, only float summation order differs.
+	g := plantedGraph(t, 4, 150, 700, 6)
+	combined, err := Partition(g, Options{K: 4, Seed: 13, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Partition(g, Options{K: 4, Seed: 13, Workers: 4, DisableCombining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Stats.RemoteMessages >= plain.Stats.RemoteMessages {
+		t.Fatalf("combining did not reduce cross-worker messages: %d vs %d",
+			combined.Stats.RemoteMessages, plain.Stats.RemoteMessages)
+	}
+	if combined.Stats.TotalBytes >= plain.Stats.TotalBytes {
+		t.Fatalf("combining did not reduce bytes: %d vs %d",
+			combined.Stats.TotalBytes, plain.Stats.TotalBytes)
+	}
+	cf := partition.Fanout(g, combined.Assignment, 4)
+	pf := partition.Fanout(g, plain.Assignment, 4)
+	if cf > pf*1.05+0.05 {
+		t.Fatalf("combined fanout %v much worse than uncombined %v", cf, pf)
+	}
+	if err := combined.Assignment.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinerInvariantOnSingleWorker(t *testing.T) {
+	// With one worker every message is local and sender-side combining
+	// collapses each data vertex's gain traffic to a single envelope whose
+	// sum order matches the uncombined delivery order exactly, so the
+	// partitions must be identical, not merely close.
+	g := randomBipartite(t, 31, 200, 300, 1500)
+	combined, err := Partition(g, Options{K: 4, Seed: 17, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Partition(g, Options{K: 4, Seed: 17, Workers: 1, DisableCombining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range combined.Assignment {
+		if combined.Assignment[i] != plain.Assignment[i] {
+			t.Fatalf("combining changed the partition at vertex %d", i)
+		}
+	}
+	if combined.Stats.TotalMessages >= plain.Stats.TotalMessages {
+		t.Fatalf("combining did not reduce envelopes: %d vs %d",
+			combined.Stats.TotalMessages, plain.Stats.TotalMessages)
 	}
 }
 

@@ -7,7 +7,13 @@ import (
 )
 
 func quickCfg() Config {
-	return Config{Quick: true, Scale: 0.08, Seed: 1, Workers: 2}
+	cfg := Config{Quick: true, Scale: 0.08, Seed: 1, Workers: 2}
+	if testing.Short() {
+		// Keep the tier-1 `go test -short ./...` loop fast: the same code
+		// paths run, just on smaller problem instances.
+		cfg.Scale = 0.02
+	}
+	return cfg
 }
 
 func TestRegistryComplete(t *testing.T) {

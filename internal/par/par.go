@@ -56,6 +56,18 @@ func For(n, workers int, fn func(start, end int)) {
 	wg.Wait()
 }
 
+// Each runs fn(i) once for every i in [0, n) with one goroutine per index
+// and waits for all of them: For at full width, packaged for coarse
+// per-shard work (one BSP worker, one transport endpoint per call) where
+// the per-index closure is the natural unit.
+func Each(n int, fn func(i int)) {
+	For(n, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			fn(i)
+		}
+	})
+}
+
 // ForWorker is like For but also passes the worker index, so callers can
 // index into pre-allocated per-worker scratch state.
 func ForWorker(n, workers int, fn func(worker, start, end int)) {

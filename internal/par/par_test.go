@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -116,5 +117,25 @@ func TestSumFloat64CloseToSerial(t *testing.T) {
 func BenchmarkForOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		For(1024, 4, func(s, e int) {})
+	}
+}
+
+func TestEachCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		Each(n, func(i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		if len(seen) != n {
+			t.Fatalf("n=%d: Each hit %d distinct indices", n, len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
 	}
 }

@@ -7,18 +7,23 @@
 // every active vertex's compute function against the messages delivered to
 // it, outgoing messages are buffered per destination worker and exchanged at
 // the synchronization barrier, and aggregators are merged by a master that
-// may run its own compute between supersteps. Message and byte counts are
-// tracked per superstep, distinguishing intra-worker from cross-worker
-// traffic, so communication-complexity claims can be measured rather than
-// asserted.
+// may run its own compute between supersteps.
+//
+// The message plane is layered:
+//
+//   - engine.go runs supersteps and delivers sorted message runs to vertices;
+//   - codec.go turns typed messages into flat, length-prefixed bytes (and
+//     makes byte accounting measured rather than estimated);
+//   - transport.go moves batches between workers — in-process by default, or
+//     over loopback TCP sockets with real framing and serialization.
+//
+// Options.Combiner is applied sender-side, in the per-destination outbox, so
+// it reduces the message and byte counts that actually cross the transport
+// (and a receiver-side pass folds across source workers). Message and byte
+// counts are tracked per superstep, distinguishing intra-worker from
+// cross-worker traffic, so communication-complexity claims can be measured
+// rather than asserted.
 package pregel
-
-import (
-	"errors"
-	"fmt"
-	"sort"
-	"sync"
-)
 
 // VertexID identifies a vertex. IDs need not be dense, but dense ids give
 // the most even sharding.
@@ -51,17 +56,21 @@ func (c *Context) Superstep() int { return c.superstep }
 // NumVertices returns the total vertex count.
 func (c *Context) NumVertices() int { return len(c.engine.vertexIndex) }
 
-// Send delivers a message to dst at the start of the next superstep.
+// Send delivers a message to dst at the start of the next superstep. With a
+// combiner configured, messages for the same destination vertex are folded
+// in the outbox immediately, so at most one envelope per (source worker,
+// destination vertex) pair reaches the transport.
 func (c *Context) Send(dst VertexID, m Message) {
 	w := c.engine.workerOf(dst)
-	c.worker.outbox[w] = append(c.worker.outbox[w], envelope{dst: dst, msg: m})
-	c.worker.stats.MessagesSent++
-	if bytes := c.engine.opts.MessageBytes; bytes != nil {
-		c.worker.stats.BytesSent += int64(bytes(m))
+	ob := &c.worker.out[w]
+	if comb := c.engine.opts.Combiner; comb != nil {
+		if i, ok := ob.idx[dst]; ok {
+			ob.env[i].msg = comb(ob.env[i].msg, m)
+			return
+		}
+		ob.idx[dst] = len(ob.env)
 	}
-	if w != c.worker.id {
-		c.worker.stats.RemoteMessages++
-	}
+	ob.env = append(ob.env, envelope{dst: dst, msg: m})
 }
 
 // Aggregate folds a value into the named aggregator; the master sees the
@@ -72,7 +81,7 @@ func (c *Context) Aggregate(name string, value interface{}) {
 	if !ok {
 		def, exists := c.engine.opts.Aggregators[name]
 		if !exists {
-			panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+			panic("pregel: unknown aggregator " + name)
 		}
 		agg = def.New()
 		c.worker.aggregators[name] = agg
@@ -112,7 +121,11 @@ type ComputeFunc func(ctx *Context, v *Vertex, messages []Message)
 // aggregator values for the next superstep by returning them in set.
 type MasterFunc func(superstep int, aggregated map[string]interface{}) (halt bool, set map[string]interface{})
 
-// SuperstepStats records one superstep's traffic and load.
+// SuperstepStats records one superstep's traffic and load. MessagesSent and
+// RemoteMessages count envelopes after sender-side combining — what actually
+// crossed (or would cross) the transport. BytesSent is the transport's
+// accounting: real frame bytes on the TCP backend, codec-measured (or
+// MessageBytes-estimated) sizes on the in-process backend.
 type SuperstepStats struct {
 	Superstep       int
 	ActiveVertices  int
@@ -143,207 +156,22 @@ type Options struct {
 	MaxSupersteps int
 	// Aggregators declares the aggregators vertices may use.
 	Aggregators map[string]AggregatorDef
-	// MessageBytes estimates a message's wire size for byte accounting
-	// (optional; nil disables byte counting).
+	// Transport selects the message-plane backend (nil means the in-process
+	// MemoryTransport). See MemoryTransport and TCPTransport.
+	Transport Transport
+	// Codecs registers binary encoders per message type. Required by the
+	// TCP transport; optional for the in-process one, where it upgrades
+	// byte accounting from the MessageBytes estimate to encoded sizes.
+	Codecs *Registry
+	// MessageBytes estimates a message's wire size for byte accounting on
+	// the in-process transport when no codec covers the type (optional).
 	MessageBytes func(Message) int
-	// Combiner, if set, merges messages destined to the same vertex at the
-	// receiving worker (Giraph's combiner optimization). It must be
-	// commutative and associative.
+	// Combiner, if set, merges messages destined to the same vertex. It is
+	// applied in the sender's outbox (reducing transport traffic) and again
+	// at the receiver across source workers. It must be commutative and
+	// associative.
 	Combiner func(a, b Message) Message
 }
-
-type envelope struct {
-	dst VertexID
-	msg Message
-}
-
-type worker struct {
-	id          int
-	vertices    []*Vertex
-	inbox       []envelope
-	outbox      [][]envelope // per destination worker
-	aggregators map[string]Aggregator
-	stats       struct {
-		MessagesSent   int64
-		RemoteMessages int64
-		BytesSent      int64
-	}
-}
-
-// Engine is a configured computation over a fixed vertex set.
-type Engine struct {
-	opts        Options
-	workers     []*worker
-	vertexIndex map[VertexID]*Vertex
-	aggregated  map[string]interface{}
-	stats       Stats
-}
-
-// NewEngine builds an engine over the given vertices.
-func NewEngine(opts Options, vertices []*Vertex) (*Engine, error) {
-	if opts.Compute == nil {
-		return nil, errors.New("pregel: Compute is required")
-	}
-	if opts.MaxSupersteps <= 0 {
-		return nil, errors.New("pregel: MaxSupersteps must be > 0")
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
-	e := &Engine{
-		opts:        opts,
-		vertexIndex: make(map[VertexID]*Vertex, len(vertices)),
-		aggregated:  map[string]interface{}{},
-	}
-	e.workers = make([]*worker, opts.Workers)
-	for i := range e.workers {
-		e.workers[i] = &worker{
-			id:          i,
-			outbox:      make([][]envelope, opts.Workers),
-			aggregators: map[string]Aggregator{},
-		}
-	}
-	for _, v := range vertices {
-		if _, dup := e.vertexIndex[v.ID]; dup {
-			return nil, fmt.Errorf("pregel: duplicate vertex id %d", v.ID)
-		}
-		e.vertexIndex[v.ID] = v
-		w := e.workerOf(v.ID)
-		e.workers[w].vertices = append(e.workers[w].vertices, v)
-	}
-	return e, nil
-}
-
-// workerOf shards a vertex id to a worker (multiplicative hash so dense id
-// ranges spread evenly, like Giraph's random vertex placement).
-func (e *Engine) workerOf(id VertexID) int {
-	h := uint64(id) * 0x9E3779B97F4A7C15
-	return int(h % uint64(len(e.workers)))
-}
-
-// Run executes supersteps until every vertex halts with no pending messages,
-// the master requests a halt, or MaxSupersteps is reached. It returns run
-// statistics.
-func (e *Engine) Run() (*Stats, error) {
-	for step := 0; step < e.opts.MaxSupersteps; step++ {
-		active := 0
-		maxWorkerActive := 0
-		for _, w := range e.workers {
-			wa := 0
-			for _, v := range w.vertices {
-				if !v.halted {
-					wa++
-				}
-			}
-			wa += pendingFor(w)
-			if wa > maxWorkerActive {
-				maxWorkerActive = wa
-			}
-			active += wa
-		}
-		if active == 0 {
-			break
-		}
-
-		var wg sync.WaitGroup
-		for _, w := range e.workers {
-			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				e.runWorker(w, step)
-			}(w)
-		}
-		wg.Wait()
-
-		// Barrier: exchange messages, merge aggregators, account traffic.
-		ss := SuperstepStats{Superstep: step, ActiveVertices: active, MaxWorkerActive: maxWorkerActive}
-		for _, w := range e.workers {
-			ss.MessagesSent += w.stats.MessagesSent
-			ss.RemoteMessages += w.stats.RemoteMessages
-			ss.BytesSent += w.stats.BytesSent
-			w.stats.MessagesSent, w.stats.RemoteMessages, w.stats.BytesSent = 0, 0, 0
-		}
-		for _, src := range e.workers {
-			for dst, msgs := range src.outbox {
-				if len(msgs) > 0 {
-					e.workers[dst].inbox = append(e.workers[dst].inbox, msgs...)
-					src.outbox[dst] = src.outbox[dst][:0]
-				}
-			}
-		}
-		merged := map[string]Aggregator{}
-		for _, w := range e.workers {
-			for name, agg := range w.aggregators {
-				if m, ok := merged[name]; ok {
-					m.Merge(agg)
-				} else {
-					merged[name] = agg
-				}
-			}
-			w.aggregators = map[string]Aggregator{}
-		}
-		e.aggregated = map[string]interface{}{}
-		for name, agg := range merged {
-			e.aggregated[name] = agg.Value()
-		}
-
-		e.stats.PerSuperstep = append(e.stats.PerSuperstep, ss)
-		e.stats.Supersteps++
-		e.stats.TotalMessages += ss.MessagesSent
-		e.stats.RemoteMessages += ss.RemoteMessages
-		e.stats.TotalBytes += ss.BytesSent
-
-		if e.opts.Master != nil {
-			halt, set := e.opts.Master(step, e.aggregated)
-			for name, v := range set {
-				e.aggregated[name] = v
-			}
-			if halt {
-				break
-			}
-		}
-	}
-	return &e.stats, nil
-}
-
-func pendingFor(w *worker) int { return len(w.inbox) }
-
-// runWorker executes one worker's vertices for one superstep.
-func (e *Engine) runWorker(w *worker, step int) {
-	// Group inbound messages by vertex. Sorting by destination keeps the
-	// delivery order deterministic regardless of sender scheduling.
-	delivery := map[VertexID][]Message{}
-	if len(w.inbox) > 0 {
-		sort.SliceStable(w.inbox, func(i, j int) bool { return w.inbox[i].dst < w.inbox[j].dst })
-		for _, env := range w.inbox {
-			if e.opts.Combiner != nil {
-				if prev, ok := delivery[env.dst]; ok {
-					delivery[env.dst] = []Message{e.opts.Combiner(prev[0], env.msg)}
-					continue
-				}
-			}
-			delivery[env.dst] = append(delivery[env.dst], env.msg)
-		}
-		w.inbox = w.inbox[:0]
-	}
-	ctx := &Context{engine: e, worker: w, superstep: step}
-	for _, v := range w.vertices {
-		msgs := delivery[v.ID]
-		if v.halted && len(msgs) == 0 {
-			continue
-		}
-		v.halted = false
-		ctx.vertex = v
-		e.opts.Compute(ctx, v, msgs)
-	}
-}
-
-// Vertex returns the vertex with the given id (nil if absent). Intended for
-// result extraction after Run.
-func (e *Engine) Vertex(id VertexID) *Vertex { return e.vertexIndex[id] }
-
-// Workers returns the configured worker count.
-func (e *Engine) Workers() int { return len(e.workers) }
 
 // SumAggregator sums float64 values.
 type SumAggregator struct{ sum float64 }

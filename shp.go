@@ -33,6 +33,7 @@ import (
 	"shp/internal/hypergraph"
 	"shp/internal/multilevel"
 	"shp/internal/partition"
+	"shp/internal/pregel"
 	"shp/internal/sharding"
 )
 
@@ -156,6 +157,21 @@ type DistributedResult = distshp.Result
 func PartitionDistributed(g *Hypergraph, opts DistributedOptions) (*DistributedResult, error) {
 	return distshp.Partition(g, opts)
 }
+
+// Transport is a message-plane backend for the distributed engine; see
+// MemoryTransport and TCPTransport.
+type Transport = pregel.Transport
+
+// MemoryTransport returns the in-process message backend (the default):
+// messages move between workers as Go values, bytes are accounted from
+// registered codec sizes.
+func MemoryTransport() Transport { return pregel.MemoryTransport() }
+
+// TCPTransport returns the loopback TCP backend: each engine worker gets a
+// socket endpoint and message batches are framed, serialized, and shipped
+// over real connections, so byte counts are measured on the wire. Partitions
+// are identical to the in-process backend for the same seed.
+func TCPTransport() Transport { return pregel.TCPTransport() }
 
 // MultilevelConfig configures the baseline multilevel partitioner.
 type MultilevelConfig = multilevel.Config
