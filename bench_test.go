@@ -8,7 +8,9 @@
 package shp_test
 
 import (
+	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -114,6 +116,55 @@ func BenchmarkPartitionSHPk(b *testing.B) {
 	}
 	b.ReportMetric(fanout, "fanout")
 	b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkRefineDelta measures the incremental engine where it matters:
+// warm-started refinement at a controlled churn level. A converged
+// assignment is perturbed by a known moved fraction and re-refined for a
+// fixed number of iterations, with the incremental engine on and off
+// (identical work per Options.DisableIncremental equivalence, so edges/s
+// differences are pure engine overhead/savings).
+func BenchmarkRefineDelta(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	const k = 16
+	base, err := shp.Partition(g, shp.Options{K: k, Direct: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	perturb := func(frac float64) shp.Assignment {
+		warm := make(shp.Assignment, len(base.Assignment))
+		copy(warm, base.Assignment)
+		r := rand.New(rand.NewSource(7))
+		n := int(frac * float64(len(warm)))
+		for i := 0; i < n; i++ {
+			v := r.Intn(len(warm))
+			warm[v] = int32(r.Intn(k))
+		}
+		return warm
+	}
+	for _, frac := range []float64{0.01, 0.05, 0.25} {
+		warm := perturb(frac)
+		for _, engine := range []struct {
+			name    string
+			disable bool
+		}{{"incremental", false}, {"full-rebuild", true}} {
+			b.Run(fmt.Sprintf("moved%g%%-%s", frac*100, engine.name), func(b *testing.B) {
+				var iters int
+				for i := 0; i < b.N; i++ {
+					res, err := shp.Partition(g, shp.Options{
+						K: k, Direct: true, Seed: 2, MaxIters: 6,
+						Initial: warm, DisableIncremental: engine.disable,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters = res.Iterations
+				}
+				b.ReportMetric(float64(iters), "iters")
+				b.ReportMetric(float64(g.NumEdges())*float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+			})
+		}
+	}
 }
 
 func BenchmarkPartitionMultilevelBaseline(b *testing.B) {

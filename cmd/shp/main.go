@@ -6,7 +6,14 @@
 //	shp -in graph.hgr -k 32 [-format hmetis|edgelist] [-out assignment.txt]
 //	    [-p 0.5] [-eps 0.05] [-direct] [-objective pfanout|fanout|cliquenet]
 //	    [-iters N] [-seed S] [-workers W] [-warm previous.txt] [-penalty X]
+//	    [-no-incremental] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	    [-distributed [-transport memory|tcp] [-no-combine]]
+//
+// Every run reports end-to-end throughput as edges/s (|E| divided by the
+// partitioning wall-clock), so performance work is measurable outside
+// `go test -bench`. -cpuprofile and -memprofile write pprof files covering
+// the partitioning call; -no-incremental ablates the incremental
+// refinement engine (full neighbor-data rebuilds every iteration).
 //
 // With -distributed the partition runs on the vertex-centric BSP engine
 // (the paper's Giraph mode); -transport selects the message plane between
@@ -18,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"shp"
 )
@@ -45,6 +54,9 @@ func run() error {
 		warmPath  = flag.String("warm", "", "warm-start assignment file (incremental update)")
 		penalty   = flag.Float64("penalty", 0, "move-cost penalty for incremental updates")
 		prune     = flag.Bool("prune", true, "remove degree-<2 queries before partitioning")
+		noInc     = flag.Bool("no-incremental", false, "disable the incremental refinement engine (ablation)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the partitioning to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after partitioning to this file")
 		dist      = flag.Bool("distributed", false, "run on the vertex-centric BSP engine (SHP-2 only)")
 		transport = flag.String("transport", "memory", "distributed message plane: memory or tcp")
 		noCombine = flag.Bool("no-combine", false, "disable sender-side message combining (distributed only)")
@@ -77,6 +89,33 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %s: |Q|=%d |D|=%d |E|=%d\n", *inPath, g.NumQueries(), g.NumData(), g.NumEdges())
 
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shp: memprofile:", err)
+			return
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "shp: memprofile:", err)
+		}
+	}()
+
 	if *dist {
 		return runDistributed(g, *k, *p, *eps, *iters, *seed, *workers, *transport, *noCombine, *outPath)
 	}
@@ -84,7 +123,7 @@ func run() error {
 	opts := shp.Options{
 		K: *k, P: *p, Epsilon: *eps, Direct: *direct,
 		MaxIters: *iters, Seed: *seed, Parallelism: *workers,
-		MoveCostPenalty: *penalty,
+		MoveCostPenalty: *penalty, DisableIncremental: *noInc,
 	}
 	switch *objective {
 	case "pfanout":
@@ -116,6 +155,8 @@ func run() error {
 	}
 	after := shp.Measure(g, res.Assignment, *k, *p)
 	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %v (%d iterations)\n", *k, res.Elapsed, res.Iterations)
+	fmt.Fprintf(os.Stderr, "throughput: %.4g edges/s (|E| / wall-clock)\n",
+		float64(g.NumEdges())/res.Elapsed.Seconds())
 	fmt.Fprintf(os.Stderr, "fanout:    random %.4f -> shp %.4f (%.1f%%)\n",
 		before.Fanout, after.Fanout, 100*(after.Fanout/before.Fanout-1))
 	fmt.Fprintf(os.Stderr, "p-fanout:  random %.4f -> shp %.4f\n", before.PFanout, after.PFanout)
@@ -158,6 +199,8 @@ func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed ui
 	after := shp.Measure(g, res.Assignment, k, p)
 	fmt.Fprintf(os.Stderr, "distributed (%s transport): k=%d in %v, %d supersteps, %d iterations\n",
 		transport, k, res.Elapsed, res.Stats.Supersteps, res.Iterations)
+	fmt.Fprintf(os.Stderr, "throughput: %.4g edges/s (|E| / wall-clock)\n",
+		float64(g.NumEdges())/res.Elapsed.Seconds())
 	fmt.Fprintf(os.Stderr, "fanout:    random %.4f -> shp %.4f\n", before.Fanout, after.Fanout)
 	fmt.Fprintf(os.Stderr, "messages:  %d total, %d crossed workers, %.2f MB on the %s plane\n",
 		res.Stats.TotalMessages, res.Stats.RemoteMessages,

@@ -143,7 +143,11 @@ func TestGainMatchesObjectiveDelta(t *testing.T) {
 				b.n[oth][q]++
 			}
 			after := b.objective()
-			return math.Abs((before-after)-gain) < 1e-9
+			// Gain tables are quantized to the dyadic gain grid (see
+			// gainGridBits), which perturbs the gain/objective-delta
+			// identity by up to ~2^-32 per incident query; 1e-6 leaves
+			// room for weighted high-degree test vertices.
+			return math.Abs((before-after)-gain) < 1e-6
 		}, &quick.Config{MaxCount: 40})
 		if err != nil {
 			t.Fatalf("config %d (%+v): %v", ci, cfg.opts.Objective, err)

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"fmt"
+	"slices"
 
 	"shp/internal/hypergraph"
 	"shp/internal/par"
@@ -19,6 +20,39 @@ import (
 //
 // It also serves recursive r-way splitting for r > 2, where each of the r
 // buckets carries its own lookahead split count.
+//
+// # The incremental engine
+//
+// By default the refiner makes per-iteration cost proportional to churn
+// instead of |E| (Section 3.3's dirty-query idea pushed all the way into
+// the in-process hot loop):
+//
+//   - The neighbor data is patched in place after each move batch, only for
+//     the queries adjacent to moved vertices (decrement the origin bucket's
+//     count, increment the target's, inserting and removing sparse entries
+//     as they cross zero).
+//   - Every vertex carries its Equation 1 state in patchable form: base
+//     (the own-bucket term), wdeg (static query-weighted degree), and a
+//     sorted candidate list of (bucket, refs, acc) accumulators. Because
+//     all gain-table values live on a shared dyadic grid (see gainGridBits)
+//     these sums are exact, so applying the per-entry deltas of a dirty
+//     query to its members' accumulators produces bit-for-bit the same
+//     state as re-walking their whole neighborhoods — hub queries no longer
+//     force their entire membership through a full re-evaluation.
+//   - Only moved vertices (whose own bucket, and with it the meaning of
+//     base/acc, changed) are rebuilt from scratch. When a batch moves a
+//     large fraction of the graph, patch volume would exceed a sweep, so
+//     the engine deterministically falls back to a full rebuild sweep for
+//     that iteration — interchangeable because patched and swept states are
+//     identical.
+//   - The per-candidate balance-admissibility filter (the only part of a
+//     proposal that depends on global bucket weights) is re-evaluated every
+//     iteration for every vertex from the cached accumulators; that argmax
+//     is a few flops per candidate.
+//
+// Options.DisableIncremental replaces all of this with a full neighbor-data
+// rebuild and a full proposal sweep per iteration; both paths produce
+// byte-identical partitions and histories for a fixed seed.
 type directState struct {
 	g    *hypergraph.Bipartite
 	opts Options
@@ -37,16 +71,187 @@ type directState struct {
 	// during recursive r-way splits; uniform t=1 in plain direct mode).
 	tables []GainTables
 
-	// Sparse neighbor data, CSR over queries: for query q the buckets with
-	// n_i(q) > 0 and their counts live at [ndOff[q], ndOff[q+1]).
-	ndOff    []int64
-	ndBucket []int32
-	ndCount  []int32
+	// Sparse neighbor data over queries, stored as a fixed-capacity CSR so
+	// entries can be inserted and removed in place: query q owns the segment
+	// [ndOff[q], ndOff[q+1]) with capacity min(deg(q), k), of which the
+	// first ndLen[q] slots are live. Entries are kept sorted by bucket id —
+	// the canonical order both the full rebuild and the incremental
+	// maintenance produce, so the two paths are interchangeable bit for bit.
+	ndOff     []int64
+	ndLen     []int32
+	ndEnt     []ndEntry
+	ndEntries int64 // total live entries (= summed fanout)
+
+	// Per-vertex Equation 1 state: cand[v] holds the candidate buckets of v
+	// in ascending bucket order with their exact acc sums and contributing-
+	// query refcounts; propBase[v] is the own-bucket term; wdegArr[v] the
+	// static query-weighted degree.
+	cand     [][]proposalCand
+	propBase []float64
+	wdegArr  []float64
 
 	target []int32
 	gains  []float64
 
+	// Incremental-engine state (nil/unused when Options.DisableIncremental):
+	// active holds each vertex's pending work — activeRebuild for movers
+	// (and everyone after a fallback sweep or safety-net rebuild),
+	// activeSelect for vertices whose accumulators were patched; dirtyFlag
+	// dedups dirty queries during delta application; delta holds the
+	// per-owner scratch of applyNDDeltas. admiss/prevAdmiss track the
+	// per-bucket balance-admissibility vector between iterations: on
+	// unit-weight graphs an untouched vertex under an unchanged vector
+	// would reproduce its previous argmax exactly, so selection is skipped.
+	active     []uint8
+	dirtyFlag  []uint8
+	delta      []deltaScratch
+	admiss     []bool
+	prevAdmiss []bool
+	admissSame bool
+
+	// uniformT is set when every bucket shares one gain table (always true
+	// in plain direct mode, where no bucket carries lookahead): the
+	// Equation 1 sweeps then skip the per-entry table indirection. The
+	// specialized loops perform the identical float operations, so results
+	// do not depend on which path runs.
+	uniformT []float64
+
+	// qw holds per-query weights as float64 (nil when unit-weighted),
+	// mirroring the bisection refiner.
+	qw []float64
+
+	decided []bool // per-iteration move decisions, reused across iterations
+
+	// Dense pair-histogram scratch (k <= densePairK): per-worker and merged
+	// accumulators plus the per-pair probability tables, all reused across
+	// iterations so the move protocol performs no map operations.
+	pairAccs  []*pairAcc
+	pairMerge *pairAcc
+	probTabs  []ProbTable
+
+	// ndUpdates is the reused [source][owner] routing buffer of applyNDDeltas.
+	ndUpdates [][][]ndUpdate
+
 	history []IterStats
+}
+
+// ndEntry is one live neighbor-data slot: bucket b holds c of the owning
+// query's data vertices. Interleaving bucket and count keeps the Equation 1
+// sweep on a single memory stream.
+type ndEntry struct {
+	b, c int32
+}
+
+// proposalCand is one candidate bucket of a data vertex: refs adjacent
+// queries currently have an entry for b, contributing the exact accumulator
+// acc = Σ_q wq·(T_b[c_q(b)] − T_b[0]). The move gain is derived from acc at
+// selection time.
+type proposalCand struct {
+	b    int32
+	refs int32
+	acc  float64
+}
+
+// ndUpdate routes one neighbor-data count transfer to a query's owner.
+type ndUpdate struct{ q, from, to int32 }
+
+// ndChange is one changed neighbor-data entry of a dirty query: bucket b's
+// count went from cOld to cNew (0 = entry absent).
+type ndChange struct {
+	b          int32
+	cOld, cNew int32
+}
+
+// changeGroup addresses the contiguous ndChange records of one dirty query.
+type changeGroup struct {
+	q      int32
+	off, n int32
+}
+
+// Pending-work levels in directState.active.
+const (
+	activeSelect  = 1 // accumulators patched: re-run selection only
+	activeRebuild = 2 // bucket changed (or full sweep): rebuild state
+)
+
+// deltaScratch is one owner-worker's reusable applyNDDeltas state.
+type deltaScratch struct {
+	snapArena []ndEntry // pre-batch segment snapshots, concatenated
+	snapOff   []int32   // snapshot offsets per dirty query (+ sentinel)
+	dirtyQ    []int32   // dirty queries in first-touch order
+	recs      []ndChange
+	groups    []changeGroup
+	entryDiff int64
+}
+
+func (ds *deltaScratch) reset() {
+	ds.snapArena = ds.snapArena[:0]
+	ds.snapOff = ds.snapOff[:0]
+	ds.dirtyQ = ds.dirtyQ[:0]
+	ds.recs = ds.recs[:0]
+	ds.groups = ds.groups[:0]
+	ds.entryDiff = 0
+}
+
+// sweepFallbackDiv sets the deterministic patch-vs-sweep switch: when a
+// batch moves more than NumData/sweepFallbackDiv vertices, patching members
+// of dirty queries would cost more than one full rebuild sweep, so the
+// engine marks everyone active instead. Both regimes produce identical
+// state, so the threshold is a pure performance knob.
+const sweepFallbackDiv = 8
+
+// densePairK bounds the dense (from, to) pair index space: k*k int32 slots
+// per worker. Beyond it the histogram protocol falls back to maps; both
+// containers hold identical histograms, so results do not depend on the
+// choice.
+const densePairK = 128
+
+// pairAcc accumulates per-direction gain histograms in dense
+// generation-stamped slots indexed by from*k+to. reset is O(1); slots are
+// (re)zeroed lazily on first touch.
+type pairAcc struct {
+	gen   []int32
+	slot  []int32
+	genC  int32
+	keys  []int32 // touched pair indices, first-encounter order
+	hists []DirHist
+}
+
+func newPairAcc(k int) *pairAcc {
+	return &pairAcc{gen: make([]int32, k*k), slot: make([]int32, k*k)}
+}
+
+func (a *pairAcc) reset() {
+	a.genC++
+	a.keys = a.keys[:0]
+	a.hists = a.hists[:0]
+}
+
+// at returns the histogram for pair index idx, allocating its slot on first
+// touch. The pointer must not be retained across calls (the backing array
+// may grow).
+func (a *pairAcc) at(idx int32) *DirHist {
+	if a.gen[idx] != a.genC {
+		a.gen[idx] = a.genC
+		a.slot[idx] = int32(len(a.keys))
+		a.keys = append(a.keys, idx)
+		if n := len(a.hists); n < cap(a.hists) {
+			a.hists = a.hists[:n+1]
+			a.hists[n] = DirHist{}
+		} else {
+			a.hists = append(a.hists, DirHist{})
+		}
+	}
+	return &a.hists[a.slot[idx]]
+}
+
+// lookup returns the histogram for idx, or nil if the pair was not touched
+// since the last reset.
+func (a *pairAcc) lookup(idx int32) *DirHist {
+	if a.gen[idx] != a.genC {
+		return nil
+	}
+	return &a.hists[a.slot[idx]]
 }
 
 // newDirectState prepares the refiner. spans gives each bucket's final
@@ -78,6 +283,14 @@ func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []
 		st.tables[c] = tb
 	}
 
+	st.uniformT = st.tables[0].T
+	for c := 1; c < k; c++ {
+		if &st.tables[c].T[0] != &st.uniformT[0] {
+			st.uniformT = nil
+			break
+		}
+	}
+
 	spanSum := 0
 	for _, s := range spans {
 		spanSum += s
@@ -94,11 +307,53 @@ func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []
 	}
 
 	nd := g.NumData()
+	nq := g.NumQueries()
 	st.bucket = make([]int32, nd)
 	st.target = make([]int32, nd)
 	st.gains = make([]float64, nd)
 	st.bucketW = make([]int64, k)
-	st.ndOff = make([]int64, g.NumQueries()+1)
+	st.cand = make([][]proposalCand, nd)
+	st.propBase = make([]float64, nd)
+	st.wdegArr = make([]float64, nd)
+
+	// Fixed-capacity CSR: a query with degree d can touch at most
+	// min(d, k) distinct buckets, so its segment never overflows.
+	st.ndOff = make([]int64, nq+1)
+	for q := 0; q < nq; q++ {
+		c := g.QueryDegree(int32(q))
+		if c > k {
+			c = k
+		}
+		st.ndOff[q+1] = st.ndOff[q] + int64(c)
+	}
+	st.ndLen = make([]int32, nq)
+	st.ndEnt = make([]ndEntry, st.ndOff[nq])
+	if g.QueryWeighted() {
+		st.qw = make([]float64, nq)
+		for q := range st.qw {
+			st.qw[q] = float64(g.QueryWeight(int32(q)))
+		}
+	}
+	par.For(nd, st.workers, func(start, end int) {
+		for v := start; v < end; v++ {
+			wdeg := 0.0
+			if st.qw == nil {
+				wdeg = float64(len(g.DataNeighbors(int32(v))))
+			} else {
+				for _, q := range g.DataNeighbors(int32(v)) {
+					wdeg += st.qw[q]
+				}
+			}
+			st.wdegArr[v] = wdeg
+		}
+	})
+
+	if !opts.DisableIncremental {
+		st.active = make([]uint8, nd)
+		st.dirtyFlag = make([]uint8, nq)
+		st.delta = make([]deltaScratch, st.workers)
+		st.markAllActive() // fresh state: everything needs evaluation
+	}
 
 	if opts.Initial != nil {
 		copy(st.bucket, opts.Initial)
@@ -167,9 +422,10 @@ func (st *directState) repairBalance() {
 	}
 }
 
-// buildNeighborData recomputes the sparse per-query bucket counts
-// (supersteps 1–2 of Figure 3). Two passes: count distinct buckets per
-// query, prefix-sum, then fill.
+// buildNeighborData recomputes the sparse per-query bucket counts from
+// scratch (supersteps 1–2 of Figure 3). Entries land in canonical
+// sorted-by-bucket order, matching what incremental maintenance preserves.
+// Offsets are fixed capacities, so one parallel pass suffices.
 func (st *directState) buildNeighborData() {
 	nq := st.g.NumQueries()
 	scratch := make([][]int32, st.workers)
@@ -189,45 +445,23 @@ func (st *directState) buildNeighborData() {
 				}
 				cnt[b]++
 			}
-			st.ndOff[q+1] = int64(len(tl))
-			for _, b := range tl {
-				cnt[b] = 0
-			}
-			touched[w] = tl[:0]
-		}
-	})
-	st.ndOff[0] = 0
-	for q := 0; q < nq; q++ {
-		st.ndOff[q+1] += st.ndOff[q]
-	}
-	totalEntries := st.ndOff[nq]
-	if int64(cap(st.ndBucket)) < totalEntries {
-		st.ndBucket = make([]int32, totalEntries)
-		st.ndCount = make([]int32, totalEntries)
-	} else {
-		st.ndBucket = st.ndBucket[:totalEntries]
-		st.ndCount = st.ndCount[:totalEntries]
-	}
-	par.ForWorker(nq, st.workers, func(w, start, end int) {
-		cnt := scratch[w]
-		for q := start; q < end; q++ {
-			tl := touched[w][:0]
-			for _, d := range st.g.QueryNeighbors(int32(q)) {
-				b := st.bucket[d]
-				if cnt[b] == 0 {
-					tl = append(tl, b)
-				}
-				cnt[b]++
-			}
+			slices.Sort(tl)
 			pos := st.ndOff[q]
 			for _, b := range tl {
-				st.ndBucket[pos] = b
-				st.ndCount[pos] = cnt[b]
+				st.ndEnt[pos] = ndEntry{b: b, c: cnt[b]}
 				cnt[b] = 0
 				pos++
 			}
+			st.ndLen[q] = int32(len(tl))
 			touched[w] = tl[:0]
 		}
+	})
+	st.ndEntries = par.SumInt64(nq, st.workers, func(start, end int) int64 {
+		var sum int64
+		for q := start; q < end; q++ {
+			sum += int64(st.ndLen[q])
+		}
+		return sum
 	})
 }
 
@@ -238,8 +472,8 @@ func (st *directState) objectiveFromND() float64 {
 		sum := 0.0
 		for q := start; q < end; q++ {
 			wq := float64(st.g.QueryWeight(int32(q)))
-			for e := st.ndOff[q]; e < st.ndOff[q+1]; e++ {
-				sum += wq * st.tables[st.ndBucket[e]].C[st.ndCount[e]]
+			for _, e := range st.ndEnt[st.ndOff[q] : st.ndOff[q]+int64(st.ndLen[q])] {
+				sum += wq * st.tables[e.b].C[e.c]
 			}
 		}
 		return sum
@@ -252,75 +486,256 @@ func (st *directState) fanoutFromND() float64 {
 	if nq == 0 {
 		return 0
 	}
-	return float64(st.ndOff[nq]) / float64(nq)
+	return float64(st.ndEntries) / float64(nq)
 }
 
-// computeProposals evaluates Equation 1 for every data vertex against all
-// buckets its queries touch, and records the best admissible target.
+// proposalScratch is the per-worker state of one Equation 1 rebuild sweep.
+type proposalScratch struct {
+	acc  []float64
+	refs []int32
+	gen  []int32
+	tl   []int32
+	genC int32
+}
+
+func (st *directState) proposalScratches() []*proposalScratch {
+	scratch := make([]*proposalScratch, st.workers)
+	for w := range scratch {
+		scratch[w] = &proposalScratch{
+			acc:  make([]float64, st.k),
+			refs: make([]int32, st.k),
+			gen:  make([]int32, st.k),
+			tl:   make([]int32, 0, 64),
+		}
+	}
+	return scratch
+}
+
+// rebuildVertex recomputes vertex v's Equation 1 state — propBase[v] and the
+// sorted candidate list — from the current neighbor data. All sums are
+// exact (grid values), so this produces the same bits as any sequence of
+// patches arriving at the same neighbor data.
+func (st *directState) rebuildVertex(s *proposalScratch, v int) {
+	cur := st.bucket[v]
+	s.genC++
+	genC := s.genC
+	s.tl = s.tl[:0]
+	base := 0.0
+	switch T := st.uniformT; {
+	case T != nil && st.qw == nil:
+		t0 := T[0]
+		for _, q := range st.g.DataNeighbors(int32(v)) {
+			off := st.ndOff[q]
+			for _, e := range st.ndEnt[off : off+int64(st.ndLen[q])] {
+				if e.b == cur {
+					base += T[e.c-1]
+					continue
+				}
+				if s.gen[e.b] != genC {
+					s.gen[e.b] = genC
+					s.acc[e.b] = 0
+					s.refs[e.b] = 0
+					s.tl = append(s.tl, e.b)
+				}
+				s.acc[e.b] += T[e.c] - t0
+				s.refs[e.b]++
+			}
+		}
+	case T != nil:
+		t0 := T[0]
+		for _, q := range st.g.DataNeighbors(int32(v)) {
+			wq := st.qw[q]
+			off := st.ndOff[q]
+			for _, e := range st.ndEnt[off : off+int64(st.ndLen[q])] {
+				if e.b == cur {
+					base += wq * T[e.c-1]
+					continue
+				}
+				if s.gen[e.b] != genC {
+					s.gen[e.b] = genC
+					s.acc[e.b] = 0
+					s.refs[e.b] = 0
+					s.tl = append(s.tl, e.b)
+				}
+				s.acc[e.b] += wq * (T[e.c] - t0)
+				s.refs[e.b]++
+			}
+		}
+	default:
+		tCur := st.tables[cur]
+		for _, q := range st.g.DataNeighbors(int32(v)) {
+			wq := 1.0
+			if st.qw != nil {
+				wq = st.qw[q]
+			}
+			off := st.ndOff[q]
+			for _, e := range st.ndEnt[off : off+int64(st.ndLen[q])] {
+				if e.b == cur {
+					base += wq * tCur.T[e.c-1]
+					continue
+				}
+				if s.gen[e.b] != genC {
+					s.gen[e.b] = genC
+					s.acc[e.b] = 0
+					s.refs[e.b] = 0
+					s.tl = append(s.tl, e.b)
+				}
+				s.acc[e.b] += wq * (st.tables[e.b].T[e.c] - st.tables[e.b].T[0])
+				s.refs[e.b]++
+			}
+		}
+	}
+	st.propBase[v] = base
+	slices.Sort(s.tl)
+	dst := st.cand[v][:0]
+	for _, b := range s.tl {
+		dst = append(dst, proposalCand{b: b, refs: s.refs[b], acc: s.acc[b]})
+	}
+	st.cand[v] = dst
+}
+
+// selectProposal derives each candidate's gain from the cached accumulators,
+// applies the balance-admissibility filter (the only proposal input that
+// depends on global bucket weights), and records the best target (or -1).
+// Runs every iteration for every vertex.
+func (st *directState) selectProposal(v int) (int32, float64) {
+	cands := st.cand[v]
+	best := int32(-1)
+	bestGain := 0.0
+	if len(cands) == 0 {
+		return best, bestGain
+	}
+	cur := st.bucket[v]
+	base := st.propBase[v]
+	wdeg := st.wdegArr[v]
+	mult := st.tables[cur].mult
+	wv := float64(st.g.DataWeight(int32(v)))
+	penalty := st.opts.MoveCostPenalty
+	usePenalty := penalty > 0 && st.opts.Initial != nil
+	// Exact gain ties are broken by a seed-keyed hash of (vertex, bucket):
+	// candidates are scanned in ascending bucket order, so "first wins"
+	// would systematically herd tied vertices into low bucket ids on
+	// symmetric instances. The hash keeps the choice deterministic but
+	// unbiased, like the first-encounter order the paper's random bucket
+	// numbering produces.
+	var bestHash uint64
+	vh := rng.Mix(st.seed, uint64(v))
+	if T := st.uniformT; T != nil {
+		wt0 := wdeg * T[0]
+		for i := range cands {
+			b := cands[i].b
+			if float64(st.bucketW[b])+wv > st.capW[b] {
+				continue // target bucket is full
+			}
+			gain := mult * (base - wt0 - cands[i].acc)
+			if usePenalty {
+				if cur == st.opts.Initial[v] {
+					gain -= penalty
+				} else if b == st.opts.Initial[v] {
+					gain += penalty
+				}
+			}
+			switch {
+			case best < 0 || gain > bestGain:
+				best = b
+				bestGain = gain
+				bestHash = 0
+			case gain == bestGain:
+				if bestHash == 0 {
+					bestHash = rng.Mix(vh, uint64(uint32(best)))
+				}
+				if h := rng.Mix(vh, uint64(uint32(b))); h < bestHash {
+					best = b
+					bestHash = h
+				}
+			}
+		}
+		return best, bestGain
+	}
+	for i := range cands {
+		b := cands[i].b
+		if float64(st.bucketW[b])+wv > st.capW[b] {
+			continue // target bucket is full
+		}
+		gain := mult * (base - wdeg*st.tables[b].T[0] - cands[i].acc)
+		if usePenalty {
+			if cur == st.opts.Initial[v] {
+				gain -= penalty
+			} else if b == st.opts.Initial[v] {
+				gain += penalty
+			}
+		}
+		switch {
+		case best < 0 || gain > bestGain:
+			best = b
+			bestGain = gain
+			bestHash = 0
+		case gain == bestGain:
+			if bestHash == 0 {
+				bestHash = rng.Mix(vh, uint64(uint32(best)))
+			}
+			if h := rng.Mix(vh, uint64(uint32(b))); h < bestHash {
+				best = b
+				bestHash = h
+			}
+		}
+	}
+	return best, bestGain
+}
+
+// computeProposals brings every vertex's proposal up to date: rebuild the
+// Equation 1 state of vertices flagged for rebuild (all of them in full
+// mode), then run the balance-filtered argmax. On unit-weight graphs the
+// argmax of an untouched vertex is skipped entirely when the per-bucket
+// admissibility vector is unchanged from the previous iteration — its
+// cached target and gain are exactly what a re-run would produce.
 func (st *directState) computeProposals() {
 	nd := st.g.NumData()
-	type ws struct {
-		acc  []float64
-		gen  []int32
-		tl   []int32
-		genC int32
-	}
-	scratch := make([]*ws, st.workers)
-	for w := range scratch {
-		scratch[w] = &ws{acc: make([]float64, st.k), gen: make([]int32, st.k), tl: make([]int32, 0, 64)}
-	}
-	penalty := st.opts.MoveCostPenalty
+	scratch := st.proposalScratches()
+	full := st.opts.DisableIncremental
+	st.refreshAdmissibility()
+	skipStable := !full && st.admissSame && !st.g.Weighted()
 	par.ForWorker(nd, st.workers, func(w, start, end int) {
 		s := scratch[w]
 		for v := start; v < end; v++ {
-			cur := st.bucket[v]
-			tCur := st.tables[cur]
-			s.genC++
-			s.tl = s.tl[:0]
-			base := 0.0
-			wdeg := 0.0 // query-weighted degree of v
-			for _, q := range st.g.DataNeighbors(int32(v)) {
-				wq := float64(st.g.QueryWeight(q))
-				wdeg += wq
-				for e := st.ndOff[q]; e < st.ndOff[q+1]; e++ {
-					b := st.ndBucket[e]
-					c := st.ndCount[e]
-					if b == cur {
-						base += wq * tCur.T[c-1]
-						continue
-					}
-					if s.gen[b] != s.genC {
-						s.gen[b] = s.genC
-						s.acc[b] = 0
-						s.tl = append(s.tl, b)
-					}
-					s.acc[b] += wq * (st.tables[b].T[c] - st.tables[b].T[0])
-				}
+			if full || st.active[v] == activeRebuild {
+				st.rebuildVertex(s, v)
+			} else if skipStable && st.active[v] == 0 {
+				continue
 			}
-			best := int32(-1)
-			bestGain := 0.0
-			wv := float64(st.g.DataWeight(int32(v)))
-			for _, b := range s.tl {
-				if float64(st.bucketW[b])+wv > st.capW[b] {
-					continue // target bucket is full
-				}
-				gain := tCur.mult * (base - wdeg*st.tables[b].T[0] - s.acc[b])
-				if penalty > 0 && st.opts.Initial != nil {
-					if cur == st.opts.Initial[v] {
-						gain -= penalty
-					} else if b == st.opts.Initial[v] {
-						gain += penalty
-					}
-				}
-				if best < 0 || gain > bestGain {
-					best = b
-					bestGain = gain
-				}
-			}
-			st.target[v] = best
-			st.gains[v] = bestGain
+			st.target[v], st.gains[v] = st.selectProposal(v)
 		}
 	})
+}
+
+// refreshAdmissibility recomputes the per-bucket unit-weight admissibility
+// vector and whether it changed since the previous iteration.
+func (st *directState) refreshAdmissibility() {
+	if st.admiss == nil {
+		st.admiss = make([]bool, st.k)
+		st.prevAdmiss = make([]bool, st.k)
+		st.admissSame = false
+	} else {
+		copy(st.prevAdmiss, st.admiss)
+		st.admissSame = true
+	}
+	for b := 0; b < st.k; b++ {
+		st.admiss[b] = float64(st.bucketW[b])+1 <= st.capW[b]
+		if st.admiss[b] != st.prevAdmiss[b] {
+			st.admissSame = false
+		}
+	}
+}
+
+// markAllActive schedules every vertex for a rebuild (initial iteration,
+// sweep fallback, and safety-net rebuilds).
+func (st *directState) markAllActive() {
+	if st.active == nil {
+		return
+	}
+	for i := range st.active {
+		st.active[i] = activeRebuild
+	}
 }
 
 // pairKey packs an ordered (from, to) bucket pair.
@@ -328,10 +743,94 @@ func pairKey(from, to int32) uint64 {
 	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
-// applyMoves aggregates proposals into per-direction gain histograms (the
-// master's O(k²)-bounded state, kept sparse here), computes move
-// probabilities, and executes the probabilistic moves.
-func (st *directState) applyMoves(iter int) int64 {
+// move records one applied relocation (the destination is the vertex's
+// current bucket).
+type move struct {
+	v    int32
+	from int32
+}
+
+// matchDense aggregates the proposals into per-direction gain histograms and
+// runs the pairing protocol over dense, reused pair slots — no map
+// operations anywhere near the per-vertex loops. Requires k <= densePairK.
+func (st *directState) matchDense() func(from, tgt int32) *ProbTable {
+	nd := st.g.NumData()
+	k := int32(st.k)
+	if st.pairAccs == nil {
+		st.pairAccs = make([]*pairAcc, st.workers)
+		st.pairMerge = newPairAcc(st.k)
+	}
+	par.ForWorker(nd, st.workers, func(w, start, end int) {
+		acc := st.pairAccs[w]
+		if acc == nil {
+			acc = newPairAcc(st.k)
+			st.pairAccs[w] = acc
+		}
+		acc.reset()
+		for v := start; v < end; v++ {
+			tgt := st.target[v]
+			if tgt < 0 {
+				continue
+			}
+			acc.at(st.bucket[v]*k + tgt).Add(st.gains[v])
+		}
+	})
+	m := st.pairMerge
+	m.reset()
+	for _, acc := range st.pairAccs {
+		if acc == nil {
+			continue
+		}
+		for i, idx := range acc.keys {
+			m.at(idx).Merge(&acc.hists[i])
+		}
+	}
+
+	if cap(st.probTabs) < len(m.keys) {
+		st.probTabs = make([]ProbTable, len(m.keys))
+	}
+	probs := st.probTabs[:len(m.keys)]
+	processed := make([]bool, len(m.keys))
+	var empty DirHist
+	for si, idx := range m.keys {
+		if processed[si] {
+			continue
+		}
+		from := idx / k
+		to := idx % k
+		ridx := to*k + from
+		rh := m.lookup(ridx)
+		h := &m.hists[si]
+		if rh == nil {
+			rh = &empty
+		}
+		var pa, pb ProbTable
+		if st.opts.Pairing == PairSimple {
+			pa, pb = MatchSimple(h, rh, 0, 0)
+		} else {
+			pa, pb = MatchHistograms(h, rh, 0, 0)
+		}
+		probs[si] = pa
+		processed[si] = true
+		if rh != &empty {
+			rsi := m.slot[ridx]
+			probs[rsi] = pb
+			processed[rsi] = true
+		}
+	}
+	return func(from, tgt int32) *ProbTable {
+		idx := from*k + tgt
+		if m.gen[idx] != m.genC {
+			return nil
+		}
+		return &probs[m.slot[idx]]
+	}
+}
+
+// matchSparse is the map-keyed fallback for large k, where k*k index arrays
+// would outgrow the caches. It computes exactly the same histograms and
+// probability tables as matchDense.
+func (st *directState) matchSparse() func(from, tgt int32) *ProbTable {
 	nd := st.g.NumData()
 	partials := make([]map[uint64]*DirHist, st.workers)
 	par.ForWorker(nd, st.workers, func(w, start, end int) {
@@ -386,9 +885,31 @@ func (st *directState) applyMoves(iter int) int64 {
 			probs[rkey] = &pb
 		}
 	}
+	return func(from, tgt int32) *ProbTable {
+		return probs[pairKey(from, tgt)]
+	}
+}
+
+// applyMoves aggregates proposals into per-direction gain histograms (the
+// master's O(k²)-bounded state, kept sparse here), computes move
+// probabilities, and executes the probabilistic moves. It returns the moves
+// that survived the balance trim, in ascending vertex order.
+func (st *directState) applyMoves(iter int) []move {
+	nd := st.g.NumData()
+	var probOf func(from, tgt int32) *ProbTable
+	if st.k <= densePairK {
+		probOf = st.matchDense()
+	} else {
+		probOf = st.matchSparse()
+	}
 
 	// Phase 1 (parallel): per-vertex coin decisions.
-	decided := make([]bool, nd)
+	if st.decided == nil {
+		st.decided = make([]bool, nd)
+	} else {
+		clear(st.decided)
+	}
+	decided := st.decided
 	iterKey := rng.Mix(uint64(iter)+1, 0xD0D)
 	par.For(nd, st.workers, func(start, end int) {
 		for v := start; v < end; v++ {
@@ -396,7 +917,7 @@ func (st *directState) applyMoves(iter int) int64 {
 			if tgt < 0 {
 				continue
 			}
-			pt := probs[pairKey(st.bucket[v], tgt)]
+			pt := probOf(st.bucket[v], tgt)
 			if pt == nil {
 				continue
 			}
@@ -413,12 +934,12 @@ func (st *directState) applyMoves(iter int) int64 {
 	// flows cancel), then undo the lowest-gain arrivals of over-cap buckets
 	// until every cap holds again. Undone vertices return to their origin,
 	// which held them at iteration start, so the undo loop terminates with
-	// all caps satisfied.
-	type move struct {
-		v    int32
-		from int32
-	}
+	// all caps satisfied. Arrivals are grouped by destination bucket in one
+	// pass over the applied moves: a decided vertex's bucket only changes
+	// when it is itself undone (clearing its decided flag), so the groups
+	// stay valid for the whole trim.
 	var applied []move
+	byDst := make([][]move, st.k)
 	for v := 0; v < nd; v++ {
 		if !decided[v] {
 			continue
@@ -429,9 +950,11 @@ func (st *directState) applyMoves(iter int) int64 {
 		st.bucket[v] = tgt
 		st.bucketW[cur] -= wv
 		st.bucketW[tgt] += wv
-		applied = append(applied, move{int32(v), cur})
+		m := move{int32(v), cur}
+		applied = append(applied, m)
+		byDst[tgt] = append(byDst[tgt], m)
 	}
-	live := int64(len(applied))
+	sorted := make([]bool, st.k)
 	for {
 		over := int32(-1)
 		for c := 0; c < st.k; c++ {
@@ -443,23 +966,26 @@ func (st *directState) applyMoves(iter int) int64 {
 		if over < 0 {
 			break
 		}
-		var arrivals []move
-		for _, m := range applied {
-			if decided[m.v] && st.bucket[m.v] == over {
-				arrivals = append(arrivals, m)
-			}
+		arrivals := byDst[over]
+		if !sorted[over] {
+			slices.SortFunc(arrivals, func(a, b move) int {
+				ga, gb := st.gains[a.v], st.gains[b.v]
+				if ga < gb {
+					return -1
+				}
+				if ga > gb {
+					return 1
+				}
+				return int(a.v - b.v)
+			})
+			sorted[over] = true
 		}
-		if len(arrivals) == 0 {
-			break // pre-existing violation (warm start); nothing to undo
-		}
-		sort.Slice(arrivals, func(i, j int) bool {
-			gi, gj := st.gains[arrivals[i].v], st.gains[arrivals[j].v]
-			if gi != gj {
-				return gi < gj
-			}
-			return arrivals[i].v < arrivals[j].v
-		})
+		any := false
 		for _, m := range arrivals {
+			if !decided[m.v] {
+				continue // already undone by an earlier trim
+			}
+			any = true
 			if float64(st.bucketW[over]) <= st.capW[over] {
 				break
 			}
@@ -468,23 +994,312 @@ func (st *directState) applyMoves(iter int) int64 {
 			st.bucketW[over] -= wv
 			st.bucketW[m.from] += wv
 			decided[m.v] = false
-			live--
+		}
+		if !any {
+			break // pre-existing violation (warm start); nothing to undo
 		}
 	}
-	return live
+	accepted := applied[:0]
+	for _, m := range applied {
+		if decided[m.v] {
+			accepted = append(accepted, m)
+		}
+	}
+	return accepted
 }
 
-// run iterates refinement to convergence. Neighbor data built at the start
-// of each round also provides the previous round's objective, so metrics
-// cost no extra passes.
+// applyNDDeltas patches the neighbor data in place for the queries adjacent
+// to the accepted moves (decrement the origin's count, increment the
+// target's, inserting/removing sparse entries as they cross zero), then
+// reconciles the per-vertex proposal state: either by patching the members
+// of each dirty query with the query's exact entry deltas (small batches),
+// or by scheduling a full rebuild sweep (large batches). Movers themselves
+// are always rebuilt — their own bucket changed, which reshapes base/acc.
+// Updates are routed to a per-worker query range, so each query is patched
+// by exactly one goroutine; member patches run over disjoint vertex ranges
+// using the sorted member lists. All patch arithmetic is exact, so results
+// are independent of worker count and of the patch-vs-sweep choice.
+// accepted must contain each vertex at most once (one move batch), with
+// st.bucket already holding the destination.
+func (st *directState) applyNDDeltas(accepted []move) {
+	nq := st.g.NumQueries()
+	nd := st.g.NumData()
+	w := st.workers
+	if w < 1 {
+		w = 1
+	}
+	chunk := (nq + w - 1) / w
+	if chunk == 0 {
+		chunk = 1
+	}
+	patch := len(accepted)*sweepFallbackDiv < nd
+	if st.ndUpdates == nil {
+		st.ndUpdates = make([][][]ndUpdate, w)
+	}
+	outs := st.ndUpdates
+	for sw := range outs {
+		for d := range outs[sw] {
+			outs[sw][d] = outs[sw][d][:0]
+		}
+	}
+	par.ForWorker(len(accepted), w, func(sw, start, end int) {
+		o := outs[sw]
+		if o == nil {
+			o = make([][]ndUpdate, w)
+			outs[sw] = o
+		}
+		for i := start; i < end; i++ {
+			m := accepted[i]
+			to := st.bucket[m.v]
+			for _, q := range st.g.DataNeighbors(m.v) {
+				dw := int(q) / chunk
+				o[dw] = append(o[dw], ndUpdate{q: q, from: m.from, to: to})
+			}
+		}
+	})
+
+	// Phase A (parallel by query owner): apply the ±1 count transfers,
+	// snapshotting each dirty query's pre-batch segment on first touch so
+	// the net per-entry changes can be diffed out afterwards.
+	par.Each(w, func(dw int) {
+		ds := &st.delta[dw]
+		ds.reset()
+		for sw := 0; sw < w; sw++ {
+			if outs[sw] == nil {
+				continue
+			}
+			for _, u := range outs[sw][dw] {
+				if st.dirtyFlag[u.q] == 0 {
+					st.dirtyFlag[u.q] = 1
+					ds.dirtyQ = append(ds.dirtyQ, u.q)
+					if patch {
+						ds.snapOff = append(ds.snapOff, int32(len(ds.snapArena)))
+						off := st.ndOff[u.q]
+						ds.snapArena = append(ds.snapArena, st.ndEnt[off:off+int64(st.ndLen[u.q])]...)
+					}
+				}
+				ds.entryDiff += st.applyEntryDelta(u.q, u.from, u.to)
+			}
+		}
+		if patch {
+			ds.snapOff = append(ds.snapOff, int32(len(ds.snapArena)))
+			for i, q := range ds.dirtyQ {
+				old := ds.snapArena[ds.snapOff[i]:ds.snapOff[i+1]]
+				off := st.ndOff[q]
+				cur := st.ndEnt[off : off+int64(st.ndLen[q])]
+				start := int32(len(ds.recs))
+				ds.recs = diffSegments(ds.recs, old, cur)
+				if n := int32(len(ds.recs)) - start; n > 0 {
+					ds.groups = append(ds.groups, changeGroup{q: q, off: start, n: n})
+				}
+			}
+		}
+		for _, q := range ds.dirtyQ {
+			st.dirtyFlag[q] = 0
+		}
+	})
+	for i := range st.delta {
+		st.ndEntries += st.delta[i].entryDiff
+	}
+
+	for i := range st.active {
+		st.active[i] = 0
+	}
+	if !patch {
+		st.markAllActive()
+		return
+	}
+	// Phase B (parallel by vertex range): fold each dirty query's entry
+	// deltas into its members' accumulators. Member lists are sorted, so
+	// each worker binary-searches its slice of every group; exact
+	// arithmetic makes the patch order (and the range partition)
+	// irrelevant to the result.
+	par.ForWorker(nd, w, func(_, vs, ve int) {
+		lo32, hi32 := int32(vs), int32(ve)
+		for dw := range st.delta {
+			ds := &st.delta[dw]
+			for _, grp := range ds.groups {
+				members := st.g.QueryNeighbors(grp.q)
+				i := lowerBound(members, lo32)
+				wq := 1.0
+				if st.qw != nil {
+					wq = st.qw[grp.q]
+				}
+				recs := ds.recs[grp.off : grp.off+grp.n]
+				for _, v := range members[i:] {
+					if v >= hi32 {
+						break
+					}
+					st.patchVertex(v, wq, recs)
+					st.active[v] = activeSelect
+				}
+			}
+		}
+	})
+	// Movers are rebuilt next iteration: their own bucket changed, so the
+	// cached base/acc (and any patches applied to them above) refer to the
+	// wrong frame. This overrides any activeSelect mark from the patch pass.
+	for _, m := range accepted {
+		st.active[m.v] = activeRebuild
+	}
+}
+
+// lowerBound returns the index of the first element of sorted that is >= x.
+func lowerBound(sorted []int32, x int32) int {
+	i, j := 0, len(sorted)
+	for i < j {
+		h := (i + j) / 2
+		if sorted[h] < x {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
+}
+
+// diffSegments appends the (bucket, oldCount, newCount) records for the
+// entries that differ between two sorted segments.
+func diffSegments(recs []ndChange, old, cur []ndEntry) []ndChange {
+	i, j := 0, 0
+	for i < len(old) || j < len(cur) {
+		switch {
+		case j >= len(cur) || (i < len(old) && old[i].b < cur[j].b):
+			recs = append(recs, ndChange{b: old[i].b, cOld: old[i].c})
+			i++
+		case i >= len(old) || cur[j].b < old[i].b:
+			recs = append(recs, ndChange{b: cur[j].b, cNew: cur[j].c})
+			j++
+		default:
+			if old[i].c != cur[j].c {
+				recs = append(recs, ndChange{b: old[i].b, cOld: old[i].c, cNew: cur[j].c})
+			}
+			i++
+			j++
+		}
+	}
+	return recs
+}
+
+// patchVertex folds one dirty query's entry deltas into vertex v's cached
+// Equation 1 state. For v's own bucket the base term is adjusted; for any
+// other bucket the candidate accumulator is adjusted, inserting or removing
+// the candidate as its contributing-query refcount crosses zero. Records
+// and candidates are both sorted by bucket, so one two-pointer walk covers
+// all deltas without per-record searches. Movers may be patched against
+// their post-move bucket, leaving garbage — harmless, as movers are fully
+// rebuilt before the next selection.
+func (st *directState) patchVertex(v int32, wq float64, recs []ndChange) {
+	cur := st.bucket[v]
+	cands := st.cand[v]
+	ci := 0
+	for _, r := range recs {
+		if r.b == cur {
+			T := st.tables[cur].T
+			var oldT, newT float64
+			if r.cOld > 0 {
+				oldT = T[r.cOld-1]
+			}
+			if r.cNew > 0 {
+				newT = T[r.cNew-1]
+			}
+			st.propBase[v] += wq * (newT - oldT)
+			continue
+		}
+		T := st.tables[r.b].T
+		t0 := T[0]
+		var gOld, gNew float64
+		if r.cOld > 0 {
+			gOld = T[r.cOld] - t0
+		}
+		if r.cNew > 0 {
+			gNew = T[r.cNew] - t0
+		}
+		var dref int32
+		if r.cOld == 0 {
+			dref++
+		}
+		if r.cNew == 0 {
+			dref--
+		}
+		for ci < len(cands) && cands[ci].b < r.b {
+			ci++
+		}
+		if ci < len(cands) && cands[ci].b == r.b {
+			cands[ci].refs += dref
+			if cands[ci].refs <= 0 {
+				cands = append(cands[:ci], cands[ci+1:]...)
+			} else {
+				cands[ci].acc += wq * (gNew - gOld)
+			}
+			continue
+		}
+		cands = append(cands, proposalCand{})
+		copy(cands[ci+1:], cands[ci:])
+		cands[ci] = proposalCand{b: r.b, refs: dref, acc: wq * (gNew - gOld)}
+		ci++
+	}
+	st.cand[v] = cands
+}
+
+// applyEntryDelta moves one unit of query q's neighbor count from bucket
+// `from` to bucket `to`, preserving sorted order, and returns the live-entry
+// delta (-1, 0, or +1).
+func (st *directState) applyEntryDelta(q, from, to int32) int64 {
+	off := st.ndOff[q]
+	n := int64(st.ndLen[q])
+	var delta int64
+	i := off
+	for ; i < off+n; i++ {
+		if st.ndEnt[i].b == from {
+			break
+		}
+	}
+	if i == off+n {
+		panic(fmt.Sprintf("core: neighbor data for query %d lost bucket %d", q, from))
+	}
+	st.ndEnt[i].c--
+	if st.ndEnt[i].c == 0 {
+		copy(st.ndEnt[i:off+n-1], st.ndEnt[i+1:off+n])
+		n--
+		delta--
+	}
+	j := off
+	for ; j < off+n; j++ {
+		if st.ndEnt[j].b >= to {
+			break
+		}
+	}
+	if j < off+n && st.ndEnt[j].b == to {
+		st.ndEnt[j].c++
+	} else {
+		copy(st.ndEnt[j+1:off+n+1], st.ndEnt[j:off+n])
+		st.ndEnt[j] = ndEntry{b: to, c: 1}
+		n++
+		delta++
+	}
+	st.ndLen[q] = int32(n)
+	return delta
+}
+
+// run iterates refinement to convergence. The neighbor data maintained (or
+// rebuilt) across iterations also provides each round's objective, so
+// metrics cost no extra graph passes.
 func (st *directState) run() {
 	n := st.g.NumData()
 	if n == 0 || st.k <= 1 {
 		return
 	}
+	full := st.opts.DisableIncremental
+	rebuildEvery := st.opts.NDRebuildEvery
+	st.buildNeighborData()
+	st.markAllActive()
 	for iter := 0; ; iter++ {
-		st.buildNeighborData()
 		if iter > 0 {
+			if full || (rebuildEvery > 0 && iter%rebuildEvery == 0) {
+				st.buildNeighborData()
+				st.markAllActive()
+			}
 			last := &st.history[len(st.history)-1]
 			last.Objective = st.objectiveFromND()
 			if st.opts.TrackFanout {
@@ -498,7 +1313,11 @@ func (st *directState) run() {
 			break
 		}
 		st.computeProposals()
-		moved := st.applyMoves(iter)
+		accepted := st.applyMoves(iter)
+		if !full {
+			st.applyNDDeltas(accepted)
+		}
+		moved := int64(len(accepted))
 		st.history = append(st.history, IterStats{
 			Iter: iter, Moved: moved, MovedFraction: float64(moved) / float64(n),
 		})

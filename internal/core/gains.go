@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Move-gain machinery (Equation 1 of the paper).
 //
 // For probabilistic fanout, the gain of moving data vertex v from bucket cur
@@ -22,6 +24,25 @@ package core
 // The matching objective value of a bucket holding c of q's vertices comes
 // from a contribution table C[c] (t·(1−(1−p/t)^c) or −C(c,2) respectively);
 // refiners report Σ_q Σ_buckets C[n_bucket(q)].
+
+// gainGridBits fixes the dyadic grid all probabilistic-fanout table values
+// are rounded to: every T[i] is an integer multiple of 2^-gainGridBits.
+// Sums and integer-weighted sums of grid values are EXACT in float64 while
+// |sum| < 2^(53-gainGridBits) (≈2M at 32 bits) — addition of exact dyadic
+// values has no rounding, so it is associative and commutative. The
+// incremental refinement engine leans on this: per-vertex gain accumulators
+// patched term-by-term land on exactly the same bits as a from-scratch
+// resummation, in any order, which is what makes the patched and rebuilt
+// proposal states interchangeable. The quantization perturbs table values
+// by ≤2^-33 (≈1e-10), far below any quality-relevant scale; the clique-net
+// tables are integers and sit on the grid already.
+const gainGridBits = 32
+
+// quantize rounds x to the shared dyadic gain grid.
+func quantize(x float64) float64 {
+	const scale = 1 << gainGridBits
+	return math.Round(x*scale) / scale
+}
 
 // GainTables bundles the per-objective lookup tables for one side/bucket
 // role. maxN is the largest neighbor count that will be looked up
@@ -49,11 +70,11 @@ func NewPFanoutTables(p float64, t int, maxN int) GainTables {
 	T[0] = 1
 	base := 1 - pp
 	for i := 1; i < len(T); i++ {
-		T[i] = T[i-1] * base
+		T[i] = quantize(T[i-1] * base)
 	}
 	tf := float64(t)
 	for i := range C {
-		C[i] = tf * (1 - T[i])
+		C[i] = tf * (1 - T[i]) // exact: T on the grid, tf a small integer
 	}
 	return GainTables{T: T, C: C, mult: p}
 }

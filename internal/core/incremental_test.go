@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"shp/internal/hypergraph"
+	"shp/internal/rng"
+)
+
+// The incremental refinement engine must be invisible: for a fixed seed,
+// maintaining neighbor data in place and re-evaluating only frontier
+// vertices has to produce byte-identical assignments and iteration
+// histories to rebuilding everything from scratch each iteration. These
+// tests pin that contract for SHP-2, SHP-k, weighted graphs, the pairing
+// protocols, and warm starts, plus a property test for the maintained
+// neighbor data itself.
+
+// largeRandomBipartite builds a graph big enough that recursive bisection
+// tasks exceed incrementalMinSize and actually exercise the frontier path.
+func largeRandomBipartite(tb testing.TB, seed uint64, numQ, numD, edges int) *hypergraph.Bipartite {
+	tb.Helper()
+	if numD < incrementalMinSize {
+		tb.Fatalf("graph too small to exercise the incremental path: %d < %d", numD, incrementalMinSize)
+	}
+	return randomBipartite(tb, seed, numQ, numD, edges)
+}
+
+// runBoth partitions g twice with only DisableIncremental flipped and
+// asserts identical outcomes.
+func runBoth(t *testing.T, g *hypergraph.Bipartite, opts Options) {
+	t.Helper()
+	inc := opts
+	inc.DisableIncremental = false
+	full := opts
+	full.DisableIncremental = true
+
+	ri, err := Partition(g, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Partition(g, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ri.Assignment, rf.Assignment) {
+		diff := 0
+		for i := range ri.Assignment {
+			if ri.Assignment[i] != rf.Assignment[i] {
+				diff++
+			}
+		}
+		t.Fatalf("assignments differ at %d/%d vertices", diff, len(ri.Assignment))
+	}
+	if ri.Iterations != rf.Iterations {
+		t.Fatalf("iteration counts differ: incremental %d, full %d", ri.Iterations, rf.Iterations)
+	}
+	if !reflect.DeepEqual(ri.History, rf.History) {
+		n := len(ri.History)
+		if len(rf.History) < n {
+			n = len(rf.History)
+		}
+		for i := 0; i < n; i++ {
+			if ri.History[i] != rf.History[i] {
+				t.Fatalf("history diverges at %d: incremental %+v, full %+v", i, ri.History[i], rf.History[i])
+			}
+		}
+		t.Fatalf("history lengths differ: incremental %d, full %d", len(ri.History), len(rf.History))
+	}
+}
+
+func TestIncrementalMatchesFullSHP2(t *testing.T) {
+	g := largeRandomBipartite(t, 11, 3000, 6000, 24000)
+	for _, seed := range []uint64{1, 7, 42} {
+		runBoth(t, g, Options{K: 8, Seed: seed})
+	}
+}
+
+func TestIncrementalMatchesFullSHPk(t *testing.T) {
+	g := randomBipartite(t, 12, 500, 900, 4000)
+	for _, seed := range []uint64{1, 9} {
+		runBoth(t, g, Options{K: 7, Direct: true, Seed: seed, TrackFanout: true})
+	}
+}
+
+func TestIncrementalMatchesFullWeighted(t *testing.T) {
+	r := rng.New(99)
+	numQ, numD := 2000, 4000
+	b := hypergraph.NewBuilder(numQ, numD)
+	for i := 0; i < 16000; i++ {
+		b.AddEdge(int32(r.Intn(numQ)), int32(r.Intn(numD)))
+	}
+	dw := make([]int32, numD)
+	for i := range dw {
+		dw[i] = int32(1 + r.Intn(5))
+	}
+	qw := make([]int32, numQ)
+	for i := range qw {
+		qw[i] = int32(1 + r.Intn(4))
+	}
+	g, err := b.SetDataWeights(dw).SetQueryWeights(qw).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, g, Options{K: 6, Seed: 5})
+	runBoth(t, g, Options{K: 6, Direct: true, Seed: 5})
+}
+
+func TestIncrementalMatchesFullConfigurations(t *testing.T) {
+	g := largeRandomBipartite(t, 13, 2500, 5000, 20000)
+	warm := make([]int32, g.NumData())
+	wr := rng.New(3)
+	for i := range warm {
+		warm[i] = int32(wr.Intn(8))
+	}
+	configs := []Options{
+		{K: 8, Seed: 2, Pairing: PairSimple},
+		{K: 8, Seed: 2, Pairing: PairExact},
+		{K: 8, Seed: 2, Branching: 4},
+		{K: 16, Seed: 2, Direct: true, Pairing: PairSimple},
+		{K: 8, Seed: 2, Initial: warm, MoveCostPenalty: 0.1},
+		{K: 8, Seed: 2, Direct: true, Initial: warm, MoveCostPenalty: 0.1},
+		{K: 8, Seed: 2, Objective: ObjCliqueNet},
+		{K: 8, Seed: 2, Objective: ObjFanout, Direct: true},
+		// Force the safety-net rebuild to fire mid-run: it must not change
+		// anything either.
+		{K: 8, Seed: 2, Direct: true, NDRebuildEvery: 3},
+	}
+	for i, opts := range configs {
+		t.Run(fmt.Sprintf("config%d", i), func(t *testing.T) {
+			runBoth(t, g, opts)
+		})
+	}
+}
+
+// ndSnapshot captures the live neighbor-data entries of a directState.
+type ndSnapshot struct {
+	len     []int32
+	bucket  []int32
+	count   []int32
+	entries int64
+}
+
+func snapshotND(st *directState) ndSnapshot {
+	s := ndSnapshot{
+		len:     append([]int32(nil), st.ndLen...),
+		entries: st.ndEntries,
+	}
+	nq := st.g.NumQueries()
+	for q := 0; q < nq; q++ {
+		off := st.ndOff[q]
+		n := int64(st.ndLen[q])
+		for _, e := range st.ndEnt[off : off+n] {
+			s.bucket = append(s.bucket, e.b)
+			s.count = append(s.count, e.c)
+		}
+	}
+	return s
+}
+
+// TestMaintainedNDMatchesRebuild applies random move batches through the
+// delta path and checks the maintained neighbor data (entries, counts,
+// canonical order, live totals) against a from-scratch rebuild after every
+// batch.
+func TestMaintainedNDMatchesRebuild(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomBipartite(t, seed, 50, 80, 400)
+		opts := Options{K: 6, P: 0.5, Epsilon: 10, Direct: true}.withDefaults()
+		st := newDirectState(g, opts, seed, nil, 0)
+		st.buildNeighborData()
+		r := rng.New(seed ^ 0xBEEF)
+		for batch := 0; batch < 5; batch++ {
+			var accepted []move
+			seen := make(map[int32]bool)
+			nMoves := 1 + r.Intn(20)
+			for i := 0; i < nMoves; i++ {
+				v := int32(r.Intn(g.NumData()))
+				if seen[v] {
+					continue // a real batch moves each vertex at most once
+				}
+				seen[v] = true
+				from := st.bucket[v]
+				to := int32(r.Intn(opts.K))
+				if to == from {
+					to = (to + 1) % int32(opts.K)
+				}
+				st.bucket[v] = to
+				wv := int64(g.DataWeight(v))
+				st.bucketW[from] -= wv
+				st.bucketW[to] += wv
+				accepted = append(accepted, move{v: v, from: from})
+			}
+			st.applyNDDeltas(accepted)
+			got := snapshotND(st)
+			st.buildNeighborData()
+			want := snapshotND(st)
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatchedStateMatchesRebuild verifies the exact-patching invariant
+// directly: after a refinement iteration whose batch went through the patch
+// regime, every inactive (non-mover) vertex's patched Equation 1 state —
+// base term and candidate accumulators, including refcounts — must equal a
+// from-scratch rebuild bit for bit.
+func TestPatchedStateMatchesRebuild(t *testing.T) {
+	for _, seed := range []uint64{17, 23, 99} {
+		g := randomBipartite(t, 21, 60, 100, 500)
+		opts := Options{K: 5, P: 0.5, Direct: true}.withDefaults()
+		st := newDirectState(g, opts, seed, nil, 0)
+		st.buildNeighborData()
+		patched := 0
+		for iter := 0; iter < 6; iter++ {
+			st.computeProposals()
+			accepted := st.applyMoves(iter)
+			st.applyNDDeltas(accepted)
+			if len(accepted) == 0 {
+				break
+			}
+			if len(accepted)*sweepFallbackDiv >= g.NumData() {
+				continue // sweep regime: everyone is active, nothing cached
+			}
+			ref := newDirectState(g, opts, seed, nil, 0)
+			copy(ref.bucket, st.bucket)
+			ref.recountWeights()
+			ref.buildNeighborData()
+			scratch := ref.proposalScratches()
+			for v := 0; v < g.NumData(); v++ {
+				if st.active[v] == activeRebuild {
+					continue // movers are rebuilt before the next selection
+				}
+				ref.rebuildVertex(scratch[0], v)
+				if st.propBase[v] != ref.propBase[v] {
+					t.Fatalf("seed %d iter %d vertex %d: patched base %v != rebuilt %v",
+						seed, iter, v, st.propBase[v], ref.propBase[v])
+				}
+				if !slices.Equal(st.cand[v], ref.cand[v]) {
+					t.Fatalf("seed %d iter %d vertex %d: patched candidates %v != rebuilt %v",
+						seed, iter, v, st.cand[v], ref.cand[v])
+				}
+				patched++
+			}
+		}
+		if patched == 0 {
+			t.Logf("seed %d: no patch-regime iterations exercised", seed)
+		}
+	}
+}
+
+// TestDuplicateMoveBatchDeltas exercises repeated deltas hitting the same
+// query from several movers in one batch (insert/remove churn on shared
+// segments).
+func TestDuplicateMoveBatchDeltas(t *testing.T) {
+	g := randomBipartite(t, 31, 10, 40, 200) // dense: every query sees many movers
+	opts := Options{K: 4, P: 0.5, Epsilon: 10, Direct: true, Parallelism: 3}.withDefaults()
+	st := newDirectState(g, opts, 8, nil, 0)
+	st.buildNeighborData()
+	var accepted []move
+	for v := int32(0); v < 20; v++ {
+		from := st.bucket[v]
+		to := (from + 1 + v%3) % 4
+		st.bucket[v] = to
+		st.bucketW[from]--
+		st.bucketW[to]++
+		accepted = append(accepted, move{v: v, from: from})
+	}
+	st.applyNDDeltas(accepted)
+	got := snapshotND(st)
+	st.buildNeighborData()
+	if want := snapshotND(st); !reflect.DeepEqual(got, want) {
+		t.Fatal("maintained neighbor data diverged from rebuild after a dense move batch")
+	}
+}

@@ -132,6 +132,20 @@ type Options struct {
 	// when a vertex would leave its initial bucket and increased when it
 	// would return. Only meaningful with Initial.
 	MoveCostPenalty float64
+	// DisableIncremental turns off the incremental refinement engine: every
+	// iteration rebuilds the per-query neighbor data from scratch and
+	// recomputes proposals for all data vertices, instead of maintaining
+	// neighbor counts in place and re-evaluating only the frontier of
+	// vertices adjacent to a query touched by a move. Both paths produce
+	// byte-identical partitions and histories for a fixed seed; this is an
+	// ablation/debugging knob, not a quality trade-off.
+	DisableIncremental bool
+	// NDRebuildEvery is the period, in refinement iterations, of the
+	// incremental engine's safety-net full neighbor-data rebuild (the
+	// rebuild recomputes exactly the maintained state, so it never changes
+	// results — it bounds the blast radius of any future maintenance bug).
+	// 0 means the default of 64; negative disables the safety net.
+	NDRebuildEvery int
 }
 
 // withDefaults returns a copy with defaults filled in.
@@ -157,6 +171,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinMoveFraction == 0 {
 		o.MinMoveFraction = 0.001
+	}
+	if o.NDRebuildEvery == 0 {
+		o.NDRebuildEvery = 64
 	}
 	return o
 }

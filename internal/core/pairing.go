@@ -29,11 +29,16 @@ const histBase = 1e-12
 const dampProb = 0.95
 
 // binFor maps |gain| to a bin index; larger gains land in larger bins.
+// Bin edges are powers of two above histBase, so floor(log2(x)) is read
+// straight out of the float's biased exponent — this sits on the refiners'
+// per-proposal hot path (DirHist.Add, ProbTable.ProbFor) where a real log
+// call dominates the profile.
 func binFor(absGain float64) int {
 	if absGain < histBase {
 		return 0
 	}
-	b := int(math.Log2(absGain / histBase))
+	x := absGain / histBase // >= 1, always normal
+	b := int(math.Float64bits(x)>>52&0x7FF) - 1023
 	if b < 0 {
 		b = 0
 	}

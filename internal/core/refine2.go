@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"shp/internal/hypergraph"
@@ -34,6 +34,20 @@ type bisection struct {
 	home []int8     // warm-start side, -1 when absent (for MoveCostPenalty)
 	n    [2][]int32 // per-query neighbor counts per side
 	w    [2]int64   // side weights
+
+	// Incremental-engine state (nil when Options.DisableIncremental): the
+	// side counts above are always maintained in place, so the only
+	// per-iteration full-graph pass left is computeGains. active flags the
+	// vertices whose gains must be recomputed (those adjacent to a query
+	// whose counts changed last iteration); the rest keep their cached
+	// gains, which are bit-identical to a recomputation. dirty marks the
+	// touched queries between the move phase and the frontier refresh
+	// (int32 so the parallel move phase can publish marks atomically).
+	active    []uint8
+	dirty     []int32
+	dirtyList []int32 // scratch: dirty queries collected per refresh
+	lastMoved []int32 // vertices moved this iteration; always re-activated
+	allActive bool
 
 	targetW [2]float64
 	capW    [2]float64
@@ -75,6 +89,11 @@ func newBisection(g *hypergraph.Bipartite, opts Options, seed uint64, level, tas
 	b.gains = make([]float64, nd)
 	b.n[0] = make([]int32, g.NumQueries())
 	b.n[1] = make([]int32, g.NumQueries())
+	if !opts.DisableIncremental {
+		b.active = make([]uint8, nd)
+		b.dirty = make([]int32, g.NumQueries())
+		b.allActive = true // fresh state: everything needs evaluation
+	}
 	if g.QueryWeighted() {
 		b.qw = make([]float64, g.NumQueries())
 		for q := range b.qw {
@@ -181,13 +200,21 @@ func (b *bisection) recountNeighborData() {
 	})
 }
 
-// computeGains evaluates Equation 1 for every data vertex: the improvement
-// from moving it to the opposite side, plus the incremental-update penalty.
+// computeGains evaluates Equation 1: the improvement from moving each data
+// vertex to the opposite side, plus the incremental-update penalty. When the
+// active frontier is armed (b.allActive false), only vertices adjacent to a
+// query whose counts changed keep their gains recomputed; everyone else's
+// cached gain is already exact, because it depends only on the vertex's side
+// and its queries' unchanged counts.
 func (b *bisection) computeGains() {
 	nd := b.g.NumData()
 	penalty := b.opts.MoveCostPenalty
+	all := b.allActive || b.active == nil
 	par.For(nd, b.workers, func(start, end int) {
 		for v := start; v < end; v++ {
+			if !all && b.active[v] == 0 {
+				continue
+			}
 			cur := b.side[v]
 			oth := 1 - cur
 			tCur := b.tables[cur].T
@@ -260,13 +287,25 @@ func (b *bisection) run() []int8 {
 	if nd == 0 {
 		return b.side
 	}
+	incremental := b.active != nil
+	rebuildEvery := b.opts.NDRebuildEvery
 	for iter := 0; iter < b.maxIters; iter++ {
+		b.allActive = iter == 0
+		if incremental && rebuildEvery > 0 && iter > 0 && iter%rebuildEvery == 0 {
+			// Safety net: recompute the maintained counts from scratch and
+			// re-evaluate everything. Never changes results.
+			b.recountNeighborData()
+			b.allActive = true
+		}
 		b.computeGains()
 		var moved int64
 		if b.opts.Pairing == PairExact {
 			moved = b.applyExact(iter)
 		} else {
 			moved = b.applyProbabilistic(iter)
+		}
+		if incremental {
+			b.refreshActive()
 		}
 		b.history = append(b.history, IterStats{
 			Level: b.level, Task: b.task, Iter: iter,
@@ -354,12 +393,15 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 				arrivals = append(arrivals, v)
 			}
 		}
-		sort.Slice(arrivals, func(i, j int) bool {
-			gi, gj := b.gains[arrivals[i]], b.gains[arrivals[j]]
-			if gi != gj {
-				return gi < gj
+		slices.SortFunc(arrivals, func(x, y int32) int {
+			gx, gy := b.gains[x], b.gains[y]
+			if gx < gy {
+				return -1
 			}
-			return arrivals[i] < arrivals[j]
+			if gx > gy {
+				return 1
+			}
+			return int(x - y)
 		})
 		for _, v := range arrivals {
 			if float64(b.w[s]) <= b.capW[s] {
@@ -384,13 +426,65 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 			v := accepted[i]
 			oth := b.side[v] // already flipped
 			cur := 1 - oth
-			for _, q := range b.g.DataNeighbors(v) {
-				atomic.AddInt32(&b.n[cur][q], -1)
-				atomic.AddInt32(&b.n[oth][q], 1)
+			if b.dirty != nil {
+				for _, q := range b.g.DataNeighbors(v) {
+					atomic.AddInt32(&b.n[cur][q], -1)
+					atomic.AddInt32(&b.n[oth][q], 1)
+					atomic.StoreInt32(&b.dirty[q], 1)
+				}
+			} else {
+				for _, q := range b.g.DataNeighbors(v) {
+					atomic.AddInt32(&b.n[cur][q], -1)
+					atomic.AddInt32(&b.n[oth][q], 1)
+				}
 			}
 		}
 	})
+	if b.active != nil {
+		b.lastMoved = append(b.lastMoved[:0], accepted...)
+	}
 	return int64(len(accepted))
+}
+
+// refreshActive converts the dirty-query marks accumulated by the move phase
+// into the next iteration's active vertex frontier, clearing the marks.
+// Moved vertices are re-activated unconditionally: a mover's gain depends on
+// its own side even when it has no hyperedges (the MoveCostPenalty term), so
+// dirty-query adjacency alone would miss isolated vertices. Marking runs
+// over disjoint vertex ranges (each worker binary-searches its slice of a
+// dirty query's sorted member list), so no two goroutines touch the same
+// flag.
+func (b *bisection) refreshActive() {
+	for i := range b.active {
+		b.active[i] = 0
+	}
+	nq := b.g.NumQueries()
+	dirty := b.dirtyList[:0]
+	for q := 0; q < nq; q++ {
+		if b.dirty[q] != 0 {
+			b.dirty[q] = 0
+			dirty = append(dirty, int32(q))
+		}
+	}
+	b.dirtyList = dirty
+	nd := b.g.NumData()
+	par.ForWorker(nd, b.workers, func(_, vs, ve int) {
+		lo32, hi32 := int32(vs), int32(ve)
+		for _, q := range dirty {
+			members := b.g.QueryNeighbors(q)
+			i := lowerBound(members, lo32)
+			for _, d := range members[i:] {
+				if d >= hi32 {
+					break
+				}
+				b.active[d] = 1
+			}
+		}
+	})
+	for _, v := range b.lastMoved {
+		b.active[v] = 1
+	}
+	b.lastMoved = b.lastMoved[:0]
 }
 
 // freshGain recomputes vertex v's Equation 1 gain from the current counts
@@ -432,6 +526,12 @@ func (b *bisection) moveExact(v int32) {
 	for _, q := range b.g.DataNeighbors(v) {
 		b.n[cur][q]--
 		b.n[oth][q]++
+		if b.dirty != nil {
+			b.dirty[q] = 1
+		}
+	}
+	if b.active != nil {
+		b.lastMoved = append(b.lastMoved, v)
 	}
 }
 
@@ -444,6 +544,7 @@ func (b *bisection) moveExact(v int32) {
 // extras then use the ε headroom. Fully deterministic.
 func (b *bisection) applyExact(iter int) int64 {
 	_ = iter
+	b.lastMoved = b.lastMoved[:0] // repopulated by moveExact
 	type cand struct {
 		v    int32
 		gain float64
@@ -453,12 +554,14 @@ func (b *bisection) applyExact(iter int) int64 {
 		queues[b.side[v]] = append(queues[b.side[v]], cand{int32(v), b.gains[v]})
 	}
 	for s := 0; s < 2; s++ {
-		q := queues[s]
-		sort.Slice(q, func(i, j int) bool {
-			if q[i].gain != q[j].gain {
-				return q[i].gain > q[j].gain
+		slices.SortFunc(queues[s], func(x, y cand) int {
+			if x.gain > y.gain {
+				return -1
 			}
-			return q[i].v < q[j].v
+			if x.gain < y.gain {
+				return 1
+			}
+			return int(x.v - y.v)
 		})
 	}
 	var moved int64

@@ -18,7 +18,7 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig4a", "fig4b", "table2", "table3",
-		"fig5a", "fig5b", "fig6", "fig7", "fig8"}
+		"fig5a", "fig5b", "fig6", "fig7", "fig8", "ablate-inc"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(Registry), len(want))
 	}
@@ -188,6 +188,15 @@ func TestFig8Quick(t *testing.T) {
 	for _, want := range []string{"(a) p=1.0 vs p=0.5", "(b) clique-net vs p=0.5", "mean increase"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("fig8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblateIncQuick(t *testing.T) {
+	out := runExperiment(t, "ablate-inc")
+	for _, want := range []string{"SHP-2", "SHP-k", "speedup", "fanout"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablate-inc missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -40,6 +40,12 @@ type Bipartite struct {
 	// Weighted queries contribute proportionally to fanout objectives —
 	// useful when hyperedges represent query classes with different rates.
 	qWeight []int32
+
+	// maxQDeg caches the largest hyperedge size. Every refiner construction
+	// (including each recursive bisection node) sizes its gain tables from
+	// it, so it is computed once at Build/rebuildReverse time instead of
+	// rescanning all queries per lookup.
+	maxQDeg int
 }
 
 // Edge is a (query, data) incidence.
@@ -126,14 +132,19 @@ func (g *Bipartite) TotalDataWeight() int64 {
 }
 
 // MaxQueryDegree returns the largest hyperedge size (0 for empty graphs).
-func (g *Bipartite) MaxQueryDegree() int {
+// The value is cached at construction time.
+func (g *Bipartite) MaxQueryDegree() int { return g.maxQDeg }
+
+// computeMaxQueryDegree rescans qOff; called whenever the forward CSR is
+// (re)assembled.
+func (g *Bipartite) computeMaxQueryDegree() {
 	maxDeg := 0
 	for q := 0; q < g.numQ; q++ {
 		if d := int(g.qOff[q+1] - g.qOff[q]); d > maxDeg {
 			maxDeg = d
 		}
 	}
-	return maxDeg
+	g.maxQDeg = maxDeg
 }
 
 // Edges returns all incidences. Intended for tests and small graphs.
@@ -371,6 +382,7 @@ func (b *Builder) Build() (*Bipartite, error) {
 		g.dAdj[cursor[e.D]] = e.Q
 		cursor[e.D]++
 	}
+	g.computeMaxQueryDegree()
 	return g, nil
 }
 
@@ -454,8 +466,15 @@ func (g *Bipartite) InducedByData(dataIDs []int32, minQueryDegree int) (*Biparti
 	for i := range dmap {
 		dmap[i] = -1
 	}
+	// When dataIDs is strictly increasing (the recursive partitioner always
+	// passes monotone subsets), dmap preserves order and the filtered
+	// adjacency lists come out sorted for free.
+	monotone := true
 	for newID, d := range dataIDs {
 		dmap[d] = int32(newID)
+		if newID > 0 && d <= dataIDs[newID-1] {
+			monotone = false
+		}
 	}
 	// Count per-query membership inside the subset.
 	qCount := make([]int32, g.numQ)
@@ -501,16 +520,20 @@ func (g *Bipartite) InducedByData(dataIDs []int32, minQueryDegree int) (*Biparti
 					n++
 				}
 			}
-			// dmap is order-dependent, so re-sort for the CSR invariant.
-			sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+			if !monotone {
+				// dmap is order-dependent, so re-sort for the CSR invariant.
+				sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+			}
 		}
 	})
 	out.rebuildReverse()
 	return out, keptQ
 }
 
-// rebuildReverse recomputes the data->query CSR from the query->data CSR.
+// rebuildReverse recomputes the data->query CSR from the query->data CSR,
+// along with the cached maximum query degree.
 func (g *Bipartite) rebuildReverse() {
+	g.computeMaxQueryDegree()
 	g.dOff = make([]int64, g.numD+1)
 	g.dAdj = make([]int32, len(g.qAdj))
 	for _, d := range g.qAdj {

@@ -310,6 +310,45 @@ func TestMaxQueryDegree(t *testing.T) {
 	}
 }
 
+// TestMaxQueryDegreeCached verifies the cached maximum stays consistent with
+// a rescan through every construction path: Build, PruneTrivialQueries, and
+// InducedByData (which relabel and drop hyperedges).
+func TestMaxQueryDegreeCached(t *testing.T) {
+	rescan := func(g *Bipartite) int {
+		maxDeg := 0
+		for q := 0; q < g.NumQueries(); q++ {
+			if d := g.QueryDegree(int32(q)); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		return maxDeg
+	}
+	r := rng.New(42)
+	b := NewBuilder(50, 80)
+	for i := 0; i < 400; i++ {
+		b.AddEdge(int32(r.Intn(50)), int32(r.Intn(80)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.MaxQueryDegree(), rescan(g); got != want {
+		t.Fatalf("Build: cached %d, rescan %d", got, want)
+	}
+	pruned := PruneTrivialQueries(g, 4)
+	if got, want := pruned.MaxQueryDegree(), rescan(pruned); got != want {
+		t.Fatalf("PruneTrivialQueries: cached %d, rescan %d", got, want)
+	}
+	subset := make([]int32, 0, 40)
+	for d := int32(0); d < 80; d += 2 {
+		subset = append(subset, d)
+	}
+	sub, _ := g.InducedByData(subset, 2)
+	if got, want := sub.MaxQueryDegree(), rescan(sub); got != want {
+		t.Fatalf("InducedByData: cached %d, rescan %d", got, want)
+	}
+}
+
 func BenchmarkBuild100k(b *testing.B) {
 	r := rng.New(1)
 	edges := make([]Edge, 100000)

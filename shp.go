@@ -93,7 +93,10 @@ type Assignment = partition.Assignment
 
 // Options configures Partition; the zero value plus K uses the paper's
 // recommended defaults (p = 0.5, ε = 0.05, recursive bisection with
-// histogram pairing and final-p-fanout lookahead).
+// histogram pairing and final-p-fanout lookahead). Refinement is
+// incremental by default — per-iteration cost tracks churn, not |E| —
+// with DisableIncremental and NDRebuildEvery as ablation/safety knobs;
+// both engine paths produce identical partitions for a fixed seed.
 type Options = core.Options
 
 // Result is a finished partitioning with per-iteration history.
