@@ -167,6 +167,75 @@ func BenchmarkRefineDelta(b *testing.B) {
 	}
 }
 
+// BenchmarkRepartitionDelta measures the session API where it matters: a
+// live Partitioner absorbing delta batches at a controlled churn level,
+// against re-partitioning the mutated graph from scratch each time. The
+// session and cold variants replay identical delta sequences (same churn
+// seed over clones of the same graph), so edges/s differences are pure
+// engine savings and the fanout metrics are directly comparable — the
+// session is expected to run several times faster at small churn while
+// staying within 1% of the cold fanout.
+func BenchmarkRepartitionDelta(b *testing.B) {
+	base := benchGraph(b, "social-small")
+	const k = 16
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		b.Run(fmt.Sprintf("churn%g%%/session", frac*100), func(b *testing.B) {
+			g := base.Clone()
+			p, err := shp.NewPartitioner(g, shp.Options{K: k, Direct: true, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			churn, err := shp.NewChurn(g, frac, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Repartition(); err != nil { // build the warm engine
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := churn.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Repartition(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(shp.Fanout(p.Graph(), p.Assignment(), k), "fanout")
+			b.ReportMetric(float64(p.Graph().NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+		b.Run(fmt.Sprintf("churn%g%%/cold", frac*100), func(b *testing.B) {
+			g := base.Clone()
+			churn, err := shp.NewChurn(g, frac, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *shp.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := churn.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := g.ApplyDelta(d); err != nil {
+					b.Fatal(err)
+				}
+				if res, err = shp.Partition(g, shp.Options{K: k, Direct: true, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(shp.Fanout(g, res.Assignment, k), "fanout")
+			b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
 func BenchmarkPartitionMultilevelBaseline(b *testing.B) {
 	g := benchGraph(b, "powerlaw-small")
 	b.ResetTimer()

@@ -7,6 +7,13 @@
 //	hgen -kind powerlaw -q 10000 -d 20000 -e 100000 -out g.hgr
 //	hgen -kind social -n 10000 -deg 20 -community 100 -out g.hgr
 //	hgen -kind planted -k 8 -pergroup 1000 -q 20000 -deg 6 -out g.hgr
+//
+// With -trace, hgen additionally emits a churn trace next to the graph — a
+// chained sequence of delta batches (hyperedges replaced by perturbed
+// successors, new vertices joining) for `shp -stream`:
+//
+//	hgen -kind social -n 10000 -out g.hgr -trace g.trace -trace-batches 20 -trace-churn 0.01
+//	shp -in g.hgr -k 32 -prune=false -stream g.trace
 package main
 
 import (
@@ -41,6 +48,9 @@ func run() error {
 		k         = flag.Int("k", 8, "planted: number of groups")
 		perGroup  = flag.Int("pergroup", 1000, "planted: vertices per group")
 		purity    = flag.Float64("purity", 0.9, "planted: within-group query probability")
+		tracePath = flag.String("trace", "", "also write a churn delta trace for shp -stream")
+		traceN    = flag.Int("trace-batches", 20, "trace: number of delta batches")
+		traceFrac = flag.Float64("trace-churn", 0.01, "trace: fraction of live hyperedges churned per batch")
 	)
 	flag.Parse()
 
@@ -72,10 +82,35 @@ func run() error {
 	}
 	switch *format {
 	case "hmetis":
-		return shp.WriteHMetis(out, g)
+		err = shp.WriteHMetis(out, g)
 	case "edgelist":
-		return shp.WriteEdgeList(out, g)
+		err = shp.WriteEdgeList(out, g)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if err != nil || *tracePath == "" {
+		return err
+	}
+
+	// The churn generator mutates the graph as it chains batches; the graph
+	// file above captures the pre-trace state the replay starts from.
+	churn, err := shp.NewChurn(g, *traceFrac, *seed+1)
+	if err != nil {
+		return err
+	}
+	deltas, err := churn.Batches(*traceN)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Create(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := shp.WriteDeltaTrace(tf, deltas); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d delta batches (%.2g%% churn each) to %s\n",
+		*traceN, *traceFrac*100, *tracePath)
+	return nil
 }

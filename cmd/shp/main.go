@@ -8,12 +8,20 @@
 //	    [-iters N] [-seed S] [-workers W] [-warm previous.txt] [-penalty X]
 //	    [-no-incremental] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	    [-distributed [-transport memory|tcp] [-no-combine]]
+//	    [-stream trace.txt -prune=false]
 //
 // Every run reports end-to-end throughput as edges/s (|E| divided by the
 // partitioning wall-clock), so performance work is measurable outside
 // `go test -bench`. -cpuprofile and -memprofile write pprof files covering
 // the partitioning call; -no-incremental ablates the incremental
 // refinement engine (full neighbor-data rebuilds every iteration).
+//
+// With -stream the run becomes a dynamic-graph replay: after the initial
+// partition, delta batches from the trace file (addq/rmq/addd/setw/commit
+// lines; see hgen -trace to generate one) are applied to a live Partitioner
+// session, and each batch reports its repartition wall time, the number of
+// records that moved shard, and the fanout trajectory. Traces address
+// vertices of the graph as loaded, so streaming requires -prune=false.
 //
 // With -distributed the partition runs on the vertex-centric BSP engine
 // (the paper's Giraph mode); -transport selects the message plane between
@@ -27,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"shp"
 )
@@ -60,11 +69,18 @@ func run() error {
 		dist      = flag.Bool("distributed", false, "run on the vertex-centric BSP engine (SHP-2 only)")
 		transport = flag.String("transport", "memory", "distributed message plane: memory or tcp")
 		noCombine = flag.Bool("no-combine", false, "disable sender-side message combining (distributed only)")
+		stream    = flag.String("stream", "", "delta trace file to replay through a live partitioner session")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	if *stream != "" && *prune {
+		return fmt.Errorf("-stream traces address the unpruned graph; pass -prune=false")
+	}
+	if *stream != "" && *dist {
+		return fmt.Errorf("-stream requires the in-process session engine, not -distributed")
 	}
 
 	f, err := os.Open(*inPath)
@@ -148,6 +164,10 @@ func run() error {
 		opts.Initial = warm
 	}
 
+	if *stream != "" {
+		return runStream(g, opts, *stream, *outPath)
+	}
+
 	before := shp.Measure(g, shp.RandomAssignment(g.NumData(), *k, *seed), *k, *p)
 	res, err := shp.Partition(g, opts)
 	if err != nil {
@@ -172,6 +192,71 @@ func run() error {
 		out = of
 	}
 	return shp.WriteAssignment(out, res.Assignment)
+}
+
+// runStream replays a delta trace through a live Partitioner session: one
+// initial partition, then per batch an Apply + Repartition with wall time,
+// shard churn (records that moved), and the fanout trajectory reported.
+func runStream(g *shp.Hypergraph, opts shp.Options, tracePath, outPath string) error {
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	deltas, err := shp.ReadDeltaTrace(tf, g.NumQueries(), g.NumData())
+	tf.Close()
+	if err != nil {
+		return err
+	}
+	p, err := shp.NewPartitioner(g, opts)
+	if err != nil {
+		return err
+	}
+	prev := p.Assignment()
+	init := p.Result()
+	fmt.Fprintf(os.Stderr, "initial partition: k=%d in %v, fanout %.4f\n",
+		opts.K, init.Elapsed, shp.Fanout(g, prev, opts.K))
+	fmt.Fprintf(os.Stderr, "replaying %d delta batches from %s\n", len(deltas), tracePath)
+	fmt.Fprintf(os.Stderr, "%5s %10s %12s %10s %9s %9s %10s\n",
+		"batch", "ops", "repartition", "moved", "|E|", "fanout", "edges/s")
+
+	var totalRepart time.Duration
+	for i, d := range deltas {
+		if err := p.Apply(d); err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+		start := time.Now()
+		res, err := p.Repartition()
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+		elapsed := time.Since(start)
+		totalRepart += elapsed
+		moved := len(res.Assignment) - len(prev) // new records count as moved
+		for v := range prev {
+			if prev[v] != res.Assignment[v] {
+				moved++
+			}
+		}
+		fanout := shp.Fanout(p.Graph(), res.Assignment, opts.K)
+		fmt.Fprintf(os.Stderr, "%5d %10d %12v %10d %9d %9.4f %10.4g\n",
+			i, len(d.Ops), elapsed.Round(time.Microsecond), moved,
+			p.Graph().NumEdges(), fanout,
+			float64(p.Graph().NumEdges())/elapsed.Seconds())
+		prev = res.Assignment
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d batches in %v total repartition time (vs %v initial partition)\n",
+		len(deltas), totalRepart.Round(time.Microsecond), init.Elapsed.Round(time.Microsecond))
+
+	out := os.Stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		out = of
+	}
+	return shp.WriteAssignment(out, prev)
 }
 
 // runDistributed partitions on the BSP engine and reports its measured

@@ -1,0 +1,49 @@
+package shp_test
+
+import (
+	"fmt"
+	"log"
+
+	"shp"
+)
+
+// Example_partitionerSession shows the dynamic-graph workflow: build a
+// Partitioner session once, then evolve the hypergraph with deltas and
+// absorb each change with a cheap warm Repartition instead of partitioning
+// from scratch.
+func Example_partitionerSession() {
+	// Figure 1's hypergraph: three queries over six data vertices.
+	g, err := shp.FromHyperedges(6, [][]int32{{0, 1, 5}, {0, 1, 2, 3}, {3, 4, 5}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := shp.NewPartitioner(g, shp.Options{K: 2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial fanout: %.3f\n", shp.Fanout(g, p.Assignment(), 2))
+
+	// The graph changes: two new records arrive, a new query spans them
+	// together with existing data, and one old query disappears.
+	d := p.NewDelta()
+	u := d.AddData(1)
+	v := d.AddData(1)
+	d.AddHyperedge(u, v, 4)
+	d.RemoveHyperedge(0)
+	if err := p.Apply(d); err != nil {
+		log.Fatal(err)
+	}
+
+	// Repartition warm-starts from the previous assignment: only the
+	// touched neighborhood is re-evaluated.
+	res, err := p.Repartition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after delta: %d queries over %d records, fanout %.3f\n",
+		p.Graph().NumQueries(), p.Graph().NumData(),
+		shp.Fanout(p.Graph(), res.Assignment, 2))
+	// Output:
+	// initial fanout: 1.667
+	// after delta: 4 queries over 8 records, fanout 1.500
+}

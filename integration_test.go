@@ -207,3 +207,104 @@ func TestMetricsIdentities(t *testing.T) {
 		t.Fatalf("SOED %v below communication volume", m.SOED)
 	}
 }
+
+// TestSessionDeltaEquivalence is the dynamic-graph acceptance check through
+// the public API: a graph evolved via Partitioner.Apply must be
+// Validate-clean and edge-identical to one rebuilt from scratch, and the
+// warm Repartition must stay within 1% of a cold Partition of the mutated
+// graph.
+func TestSessionDeltaEquivalence(t *testing.T) {
+	g, err := shp.GenerateSocialEgoNets(6000, 10, 80, 0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = shp.PruneTrivialQueries(g, 2)
+	cold := g.Clone()
+
+	const k = 16
+	p, err := shp.NewPartitioner(g, shp.Options{K: k, Direct: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := shp.NewChurn(g, 0.01, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the batches through the trace codec on the way to the cold
+	// graph: stream replay and in-process application must agree.
+	var traceBuf bytes.Buffer
+	for epoch := 0; epoch < 4; epoch++ {
+		d, err := churn.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shp.WriteDeltaTrace(&traceBuf, []*shp.Delta{d}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Repartition(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed, err := shp.ReadDeltaTrace(&traceBuf, cold.NumQueries(), cold.NumData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range replayed {
+		if err := cold.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Structural equivalence: session graph == trace-replayed graph ==
+	// scratch rebuild, all Validate-clean.
+	if err := p.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph().NumEdges() != cold.NumEdges() || p.Graph().NumQueries() != cold.NumQueries() ||
+		p.Graph().NumData() != cold.NumData() {
+		t.Fatal("session graph and trace-replayed graph disagree")
+	}
+	scratch := shp.NewBuilder(cold.NumQueries(), cold.NumData())
+	for q := 0; q < cold.NumQueries(); q++ {
+		scratch.AddHyperedge(int32(q), cold.QueryNeighbors(int32(q))...)
+	}
+	rebuilt, err := scratch.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumEdges() != p.Graph().NumEdges() {
+		t.Fatal("scratch rebuild disagrees with delta-built graph")
+	}
+	for q := 0; q < cold.NumQueries(); q++ {
+		a, b := p.Graph().QueryNeighbors(int32(q)), rebuilt.QueryNeighbors(int32(q))
+		if len(a) != len(b) {
+			t.Fatalf("query %d degree differs from scratch rebuild", q)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d member %d differs from scratch rebuild", q, i)
+			}
+		}
+	}
+
+	// Quality: warm session within 1% of a cold partition of the same
+	// mutated graph.
+	coldRes, err := shp.Partition(cold, shp.Options{K: k, Direct: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmF := shp.Fanout(p.Graph(), p.Assignment(), k)
+	coldF := shp.Fanout(cold, coldRes.Assignment, k)
+	if warmF > coldF*1.01 {
+		t.Fatalf("warm fanout %.4f more than 1%% above cold %.4f", warmF, coldF)
+	}
+	if imb := shp.Imbalance(p.Assignment(), k); imb > 0.05+1e-9 {
+		t.Fatalf("imbalance %.4f exceeds epsilon after churn", imb)
+	}
+}

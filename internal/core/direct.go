@@ -109,6 +109,13 @@ type directState struct {
 	prevAdmiss []bool
 	admissSame bool
 
+	// forceSelect makes the next computeProposals re-run selection for
+	// every vertex even when the admissibility vector is stable. A warm
+	// Session sets it when an input outside the admissibility vector
+	// changed under cached proposals — e.g. the MoveCostPenalty reference
+	// assignment was re-snapshotted — after which caches are fresh again.
+	forceSelect bool
+
 	// uniformT is set when every bucket shares one gain table (always true
 	// in plain direct mode, where no bucket carries lookahead): the
 	// Equation 1 sweeps then skip the per-entry table indirection. The
@@ -358,7 +365,7 @@ func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []
 	if opts.Initial != nil {
 		copy(st.bucket, opts.Initial)
 		st.recountWeights()
-		st.repairBalance()
+		st.repairBalance(nil)
 	} else {
 		st.randomInit()
 	}
@@ -394,7 +401,21 @@ func (st *directState) recountWeights() {
 
 // repairBalance moves vertices (deterministic random order) out of over-cap
 // buckets into the lightest under-target buckets. Needed for warm starts.
-func (st *directState) repairBalance() {
+// One copy owns the repair policy for both the cold path and warm sessions:
+// onMove (optional) observes every applied move so a session can keep its
+// maintained engine state exact; the move order and destination rule must
+// never diverge between the two, or warm starts stop matching cold ones.
+func (st *directState) repairBalance(onMove func(v, from, to int32)) {
+	over := false
+	for c := 0; c < st.k; c++ {
+		if float64(st.bucketW[c]) > st.capW[c] {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
 	lightest := func() int32 {
 		best, bestSlack := int32(0), -1.0
 		for c := 0; c < st.k; c++ {
@@ -419,6 +440,9 @@ func (st *directState) repairBalance() {
 		st.bucket[v] = dst
 		st.bucketW[c] -= wv
 		st.bucketW[dst] += wv
+		if onMove != nil {
+			onMove(int32(v), c, dst)
+		}
 	}
 }
 
@@ -694,7 +718,8 @@ func (st *directState) computeProposals() {
 	scratch := st.proposalScratches()
 	full := st.opts.DisableIncremental
 	st.refreshAdmissibility()
-	skipStable := !full && st.admissSame && !st.g.Weighted()
+	skipStable := !full && st.admissSame && !st.g.Weighted() && !st.forceSelect
+	st.forceSelect = false
 	par.ForWorker(nd, st.workers, func(w, start, end int) {
 		s := scratch[w]
 		for v := start; v < end; v++ {
@@ -1282,18 +1307,31 @@ func (st *directState) applyEntryDelta(q, from, to int32) int64 {
 	return delta
 }
 
-// run iterates refinement to convergence. The neighbor data maintained (or
-// rebuilt) across iterations also provides each round's objective, so
-// metrics cost no extra graph passes.
+// run builds the neighbor data from scratch and iterates refinement to
+// convergence.
 func (st *directState) run() {
+	if st.g.NumData() == 0 || st.k <= 1 {
+		return
+	}
+	st.buildNeighborData()
+	st.markAllActive()
+	st.refine()
+}
+
+// refine iterates refinement to convergence from the current neighbor-data
+// and proposal state (which run builds from scratch and a warm Session
+// patches in place between calls). The neighbor data maintained (or
+// rebuilt) across iterations also provides each round's objective, so
+// metrics cost no extra graph passes. History entries are appended to
+// st.history; callers that reuse the state across refinement epochs
+// truncate it first.
+func (st *directState) refine() {
 	n := st.g.NumData()
 	if n == 0 || st.k <= 1 {
 		return
 	}
 	full := st.opts.DisableIncremental
 	rebuildEvery := st.opts.NDRebuildEvery
-	st.buildNeighborData()
-	st.markAllActive()
 	for iter := 0; ; iter++ {
 		if iter > 0 {
 			if full || (rebuildEvery > 0 && iter%rebuildEvery == 0) {

@@ -136,6 +136,49 @@ func TestIncrementalMatchesFullConfigurations(t *testing.T) {
 	}
 }
 
+// TestIncrementalMatchesFullConvergedWarmStart pins the realistic warm-start
+// path: a converged assignment perturbed by a small churn, re-refined with
+// Options.Initial and a MoveCostPenalty. The incremental and full engines
+// must produce byte-identical results through it, for both SHP-2 and SHP-k,
+// and across penalty strengths (including zero). The random-warm configs in
+// TestIncrementalMatchesFullConfigurations cover the balance-repair path;
+// this covers the converged one, where most gains are negative and the
+// penalty gate actually bites.
+func TestIncrementalMatchesFullConvergedWarmStart(t *testing.T) {
+	g := largeRandomBipartite(t, 19, 2500, 5000, 20000)
+	base, err := Partition(g, Options{K: 8, Seed: 6, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := func(frac float64) []int32 {
+		warm := append([]int32(nil), base.Assignment...)
+		r := rng.New(123)
+		n := int(frac * float64(len(warm)))
+		for i := 0; i < n; i++ {
+			warm[r.Intn(len(warm))] = int32(r.Intn(8))
+		}
+		return warm
+	}
+	for _, tc := range []struct {
+		name    string
+		opts    Options
+		churn   float64
+		penalty float64
+	}{
+		{"shp2-penalty", Options{K: 8, Seed: 7}, 0.02, 0.1},
+		{"shp2-nopenalty", Options{K: 8, Seed: 7}, 0.02, 0},
+		{"shpk-penalty", Options{K: 8, Seed: 7, Direct: true}, 0.02, 0.1},
+		{"shpk-heavypenalty", Options{K: 8, Seed: 7, Direct: true}, 0.1, 0.5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Initial = perturb(tc.churn)
+			opts.MoveCostPenalty = tc.penalty
+			runBoth(t, g, opts)
+		})
+	}
+}
+
 // ndSnapshot captures the live neighbor-data entries of a directState.
 type ndSnapshot struct {
 	len     []int32

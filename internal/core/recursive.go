@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"time"
 
 	"shp/internal/hypergraph"
 	"shp/internal/par"
@@ -11,27 +10,19 @@ import (
 )
 
 // Partition runs SHP on g and returns the bucket assignment for the data
-// vertices. It dispatches on Options.Branching: 0 runs direct k-way
-// refinement (SHP-k), r >= 2 runs recursive r-way partitioning (r = 2 is
-// SHP-2, the open-sourced variant).
+// vertices. It dispatches on Options.Direct: direct k-way refinement
+// (SHP-k) or recursive partitioning (Branching = 2 is SHP-2, the
+// open-sourced variant).
+//
+// Partition is a thin wrapper over a single-use Session; callers that keep
+// the graph alive and re-partition it as it changes should hold on to a
+// Session (NewSession) instead.
 func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(g.NumData()); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	var res *Result
-	var err error
-	if opts.Direct {
-		res, err = partitionDirect(g, opts)
-	} else {
-		res, err = partitionRecursive(g, opts)
-	}
+	s, err := NewSession(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return s.Result(), nil
 }
 
 // rtask is one recursion node: split the given data vertices (original ids)

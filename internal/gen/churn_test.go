@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestChurnBatchesApplyCleanly(t *testing.T) {
+	g, err := SocialEgoNets(2000, 10, 50, 0.85, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startQ, startD := g.NumQueries(), g.NumData()
+	startE := g.NumEdges()
+	c, err := NewChurn(g, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 8; batch++ {
+		d, err := c.Next()
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if d.Empty() {
+			t.Fatalf("batch %d is empty", batch)
+		}
+		if err := g.ApplyDelta(d); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+	}
+	if g.NumQueries() <= startQ {
+		t.Fatal("churn never added hyperedges")
+	}
+	if g.NumData() <= startD {
+		t.Fatal("churn never added data vertices at 5% churn")
+	}
+	// Replacement keeps the live edge volume in the same ballpark.
+	if e := g.NumEdges(); e < startE/2 || e > startE*2 {
+		t.Fatalf("edge volume drifted from %d to %d", startE, e)
+	}
+}
+
+func TestChurnDetectsUnappliedDelta(t *testing.T) {
+	g, err := PlantedPartition(4, 100, 300, 4, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChurn(g, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// The delta was not applied: the next call must refuse.
+	if _, err := c.Next(); err == nil {
+		t.Fatal("Next accepted an unapplied predecessor")
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	g1, _ := PlantedPartition(4, 200, 500, 4, 0.9, 1)
+	g2 := g1.Clone()
+	c1, _ := NewChurn(g1, 0.05, 7)
+	c2, _ := NewChurn(g2, 0.05, 7)
+	for i := 0; i < 4; i++ {
+		d1, err := c1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := c2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d1.Ops) != len(d2.Ops) {
+			t.Fatalf("batch %d op counts differ", i)
+		}
+		for j := range d1.Ops {
+			a, b := d1.Ops[j], d2.Ops[j]
+			if a.Kind != b.Kind || a.Q != b.Q || a.D != b.D || a.Weight != b.Weight || len(a.Members) != len(b.Members) {
+				t.Fatalf("batch %d op %d differs", i, j)
+			}
+		}
+		if err := g1.ApplyDelta(d1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.ApplyDelta(d2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

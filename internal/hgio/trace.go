@@ -1,0 +1,154 @@
+package hgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"shp/internal/hypergraph"
+)
+
+// Delta-trace format: a line-oriented text encoding of chained structural
+// delta batches, for replaying graph churn through a partitioner session
+// (`shp -stream trace.txt`).
+//
+//	# comment
+//	addq <weight> <d1> <d2> ...   add a hyperedge over the given vertices
+//	rmq  <q>                      remove hyperedge q
+//	addd <weight>                 add a data vertex
+//	setw <d> <weight>             set the weight of data vertex d
+//	commit                        end of batch
+//
+// Ids of added vertices are implicit: they are assigned densely in op order
+// exactly as Delta.AddHyperedge/AddData do, so a trace written against a
+// graph with known vertex counts replays identically on any graph with the
+// same counts. Later ops (and later batches) may reference earlier implicit
+// ids. A trailing batch without a final commit is accepted.
+
+// WriteDeltaTrace writes the batches in the trace format.
+func WriteDeltaTrace(w io.Writer, deltas []*hypergraph.Delta) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range deltas {
+		for _, op := range d.Ops {
+			switch op.Kind {
+			case hypergraph.OpAddHyperedge:
+				weight := op.Weight
+				if weight == 0 {
+					weight = 1
+				}
+				fmt.Fprintf(bw, "addq %d", weight)
+				for _, m := range op.Members {
+					fmt.Fprintf(bw, " %d", m)
+				}
+				fmt.Fprintln(bw)
+			case hypergraph.OpRemoveHyperedge:
+				fmt.Fprintf(bw, "rmq %d\n", op.Q)
+			case hypergraph.OpAddData:
+				fmt.Fprintf(bw, "addd %d\n", op.Weight)
+			case hypergraph.OpSetDataWeight:
+				fmt.Fprintf(bw, "setw %d %d\n", op.D, op.Weight)
+			default:
+				return fmt.Errorf("hgio: cannot serialize delta op kind %v", op.Kind)
+			}
+		}
+		fmt.Fprintln(bw, "commit")
+	}
+	return bw.Flush()
+}
+
+// ReadDeltaTrace parses a trace written for a graph with the given vertex
+// counts and returns the chained delta batches. Each batch's base counts
+// continue where the previous batch left off, so the result can be applied
+// in order with ApplyDelta (or Partitioner.Apply).
+func ReadDeltaTrace(r io.Reader, baseQueries, baseData int) ([]*hypergraph.Delta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []*hypergraph.Delta
+	curQ, curD := baseQueries, baseData
+	cur := hypergraph.NewDelta(curQ, curD)
+	lineNo := 0
+	atoi := func(s string) (int32, error) {
+		v, err := strconv.ParseInt(s, 10, 32)
+		return int32(v), err
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("hgio: trace line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "addq":
+			if len(fields) < 3 {
+				return nil, bad("addq needs a weight and at least one member")
+			}
+			weight, err := atoi(fields[1])
+			if err != nil {
+				return nil, bad("bad weight")
+			}
+			members := make([]int32, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				m, err := atoi(f)
+				if err != nil {
+					return nil, bad("bad member id")
+				}
+				members = append(members, m)
+			}
+			cur.AddWeightedHyperedge(weight, members...)
+		case "rmq":
+			if len(fields) != 2 {
+				return nil, bad("rmq needs one id")
+			}
+			q, err := atoi(fields[1])
+			if err != nil {
+				return nil, bad("bad query id")
+			}
+			cur.RemoveHyperedge(q)
+		case "addd":
+			if len(fields) != 2 {
+				return nil, bad("addd needs a weight")
+			}
+			w, err := atoi(fields[1])
+			if err != nil {
+				return nil, bad("bad weight")
+			}
+			cur.AddData(w)
+		case "setw":
+			if len(fields) != 3 {
+				return nil, bad("setw needs an id and a weight")
+			}
+			d, err := atoi(fields[1])
+			if err != nil {
+				return nil, bad("bad data id")
+			}
+			w, err := atoi(fields[2])
+			if err != nil {
+				return nil, bad("bad weight")
+			}
+			cur.SetDataWeight(d, w)
+		case "commit":
+			if len(fields) != 1 {
+				return nil, bad("commit takes no arguments")
+			}
+			out = append(out, cur)
+			curQ += cur.NewQueries()
+			curD += cur.NewData()
+			cur = hypergraph.NewDelta(curQ, curD)
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !cur.Empty() {
+		out = append(out, cur)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package hgio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"shp/internal/hypergraph"
+)
+
+func TestDeltaTraceRoundTrip(t *testing.T) {
+	g, err := hypergraph.FromHyperedges(8, [][]int32{{0, 1, 2}, {2, 3}, {4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := g.Clone()
+
+	d1 := hypergraph.NewDelta(g.NumQueries(), g.NumData())
+	v := d1.AddData(2)
+	d1.AddHyperedge(v, 0, 3)
+	d1.RemoveHyperedge(1)
+	d2 := hypergraph.NewDelta(d1.BaseQueries+d1.NewQueries(), d1.BaseData+d1.NewData())
+	d2.SetDataWeight(v, 5)
+	d2.AddWeightedHyperedge(3, 1, 2, v)
+	deltas := []*hypergraph.Delta{d1, d2}
+
+	var buf bytes.Buffer
+	if err := WriteDeltaTrace(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadDeltaTrace(bytes.NewReader(buf.Bytes()), g.NumQueries(), g.NumData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(deltas) {
+		t.Fatalf("parsed %d batches, wrote %d", len(parsed), len(deltas))
+	}
+
+	// Applying the original and the parsed trace must produce identical
+	// graphs.
+	for _, d := range deltas {
+		if err := g.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range parsed {
+		if err := replay.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := replay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != replay.NumQueries() || g.NumData() != replay.NumData() || g.NumEdges() != replay.NumEdges() {
+		t.Fatalf("replayed graph differs: %dx%d/%d vs %dx%d/%d",
+			replay.NumQueries(), replay.NumData(), replay.NumEdges(),
+			g.NumQueries(), g.NumData(), g.NumEdges())
+	}
+	for q := 0; q < g.NumQueries(); q++ {
+		if !reflect.DeepEqual(g.QueryNeighbors(int32(q)), replay.QueryNeighbors(int32(q))) {
+			t.Fatalf("query %d differs after replay", q)
+		}
+	}
+	for dv := 0; dv < g.NumData(); dv++ {
+		if g.DataWeight(int32(dv)) != replay.DataWeight(int32(dv)) {
+			t.Fatalf("data weight %d differs after replay", dv)
+		}
+	}
+}
+
+func TestDeltaTraceParsing(t *testing.T) {
+	trace := `
+# a comment
+addq 1 0 1
+rmq 0
+
+commit
+addd 3
+addq 2 2 4
+` // trailing batch without commit
+	deltas, err := ReadDeltaTrace(strings.NewReader(trace), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d batches, want 2", len(deltas))
+	}
+	if deltas[1].BaseQueries != 4 || deltas[1].BaseData != 4 {
+		t.Fatalf("second batch bases %d/%d", deltas[1].BaseQueries, deltas[1].BaseData)
+	}
+	if deltas[1].NewData() != 1 || deltas[1].NewQueries() != 1 {
+		t.Fatal("second batch op counts wrong")
+	}
+	for _, bad := range []string{"addq 1", "rmq", "setw 1", "bogus 3", "addd x"} {
+		if _, err := ReadDeltaTrace(strings.NewReader(bad), 3, 4); err == nil {
+			t.Fatalf("accepted malformed line %q", bad)
+		}
+	}
+}

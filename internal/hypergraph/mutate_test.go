@@ -1,0 +1,299 @@
+package hypergraph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"shp/internal/rng"
+)
+
+// rebuildFromScratch constructs a compact graph with the same id space and
+// live edge set as g: removed hyperedges stay as empty queries, so the two
+// graphs are comparable vertex by vertex.
+func rebuildFromScratch(t *testing.T, g *Bipartite) *Bipartite {
+	t.Helper()
+	b := NewBuilder(g.NumQueries(), g.NumData())
+	for q := 0; q < g.NumQueries(); q++ {
+		for _, d := range g.QueryNeighbors(int32(q)) {
+			b.AddEdge(int32(q), d)
+		}
+	}
+	if g.Weighted() {
+		w := make([]int32, g.NumData())
+		for d := range w {
+			w[d] = g.DataWeight(int32(d))
+		}
+		b.SetDataWeights(w)
+	}
+	if g.QueryWeighted() {
+		w := make([]int32, g.NumQueries())
+		for q := range w {
+			w[q] = g.QueryWeight(int32(q))
+		}
+		b.SetQueryWeights(w)
+	}
+	fresh, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh
+}
+
+// assertEdgeIdentical fails unless the two graphs have identical dimensions,
+// live edge sets, weights, and degree structure.
+func assertEdgeIdentical(t *testing.T, got, want *Bipartite) {
+	t.Helper()
+	if got.NumQueries() != want.NumQueries() || got.NumData() != want.NumData() {
+		t.Fatalf("dimensions differ: %dx%d vs %dx%d",
+			got.NumQueries(), got.NumData(), want.NumQueries(), want.NumData())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", got.NumEdges(), want.NumEdges())
+	}
+	for q := 0; q < got.NumQueries(); q++ {
+		if !reflect.DeepEqual(got.QueryNeighbors(int32(q)), want.QueryNeighbors(int32(q))) {
+			t.Fatalf("query %d members differ: %v vs %v",
+				q, got.QueryNeighbors(int32(q)), want.QueryNeighbors(int32(q)))
+		}
+		if got.QueryWeight(int32(q)) != want.QueryWeight(int32(q)) {
+			t.Fatalf("query %d weight differs", q)
+		}
+	}
+	for d := 0; d < got.NumData(); d++ {
+		if !reflect.DeepEqual(got.DataNeighbors(int32(d)), want.DataNeighbors(int32(d))) {
+			t.Fatalf("data %d adjacency differs: %v vs %v",
+				d, got.DataNeighbors(int32(d)), want.DataNeighbors(int32(d)))
+		}
+		if got.DataWeight(int32(d)) != want.DataWeight(int32(d)) {
+			t.Fatalf("data %d weight differs", d)
+		}
+	}
+	if got.MaxQueryDegree() != want.MaxQueryDegree() {
+		t.Fatalf("max query degree differs: %d vs %d", got.MaxQueryDegree(), want.MaxQueryDegree())
+	}
+	if got.ComputeStats() != want.ComputeStats() {
+		t.Fatalf("stats differ: %+v vs %+v", got.ComputeStats(), want.ComputeStats())
+	}
+}
+
+func smallGraph(t *testing.T) *Bipartite {
+	t.Helper()
+	g, err := FromHyperedges(6, [][]int32{{0, 1, 5}, {0, 1, 2, 3}, {3, 4, 5}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyDeltaBasicOps(t *testing.T) {
+	g := smallGraph(t)
+	if g.Version() != 0 {
+		t.Fatalf("fresh graph has version %d", g.Version())
+	}
+
+	d := NewDelta(g.NumQueries(), g.NumData())
+	nv := d.AddData(1)
+	if nv != 6 {
+		t.Fatalf("new data id %d, want 6", nv)
+	}
+	nq := d.AddHyperedge(nv, 0, 4)
+	if nq != 4 {
+		t.Fatalf("new query id %d, want 4", nq)
+	}
+	d.RemoveHyperedge(1)
+	d.SetDataWeight(2, 3)
+
+	if err := g.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() != 4 {
+		t.Fatalf("version %d after 4 ops", g.Version())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.QueryDegree(1) != 0 {
+		t.Fatalf("removed hyperedge has degree %d", g.QueryDegree(1))
+	}
+	if got := g.QueryNeighbors(4); !reflect.DeepEqual(got, []int32{0, 4, 6}) {
+		t.Fatalf("new hyperedge members %v", got)
+	}
+	if g.DataWeight(2) != 3 || g.DataWeight(0) != 1 {
+		t.Fatal("weights not applied")
+	}
+	assertEdgeIdentical(t, g, rebuildFromScratch(t, g))
+}
+
+func TestApplyDeltaAtomicOnError(t *testing.T) {
+	g := smallGraph(t)
+	d := NewDelta(g.NumQueries(), g.NumData())
+	d.AddHyperedge(0, 1)
+	d.AddHyperedge(99) // out of range
+	if err := g.ApplyDelta(d); err == nil {
+		t.Fatal("expected error for out-of-range member")
+	}
+	if g.Version() != 0 || g.NumQueries() != 4 {
+		t.Fatal("failed delta must not mutate the graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Base mismatch is rejected too.
+	stale := NewDelta(g.NumQueries()-1, g.NumData())
+	stale.RemoveHyperedge(0)
+	if err := g.ApplyDelta(stale); err == nil {
+		t.Fatal("expected error for base mismatch")
+	}
+}
+
+func TestApplyDeltaRandomizedEquivalence(t *testing.T) {
+	r := rng.New(7)
+	g, err := FromHyperedges(50, func() [][]int32 {
+		hes := make([][]int32, 120)
+		for i := range hes {
+			deg := 2 + r.Intn(6)
+			for j := 0; j < deg; j++ {
+				hes[i] = append(hes[i], int32(r.Intn(50)))
+			}
+		}
+		return hes
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]int32, 0, g.NumQueries())
+	for q := 0; q < g.NumQueries(); q++ {
+		live = append(live, int32(q))
+	}
+	for round := 0; round < 20; round++ {
+		d := NewDelta(g.NumQueries(), g.NumData())
+		newD := make([]int32, 0, 2)
+		for i := 0; i < r.Intn(3); i++ {
+			newD = append(newD, d.AddData(int32(1+r.Intn(3))))
+		}
+		for i := 0; i < 1+r.Intn(5); i++ {
+			switch r.Intn(3) {
+			case 0: // remove a random live hyperedge
+				if len(live) == 0 {
+					continue
+				}
+				j := r.Intn(len(live))
+				d.RemoveHyperedge(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case 1: // add a hyperedge over old and new vertices
+				deg := 2 + r.Intn(5)
+				ms := make([]int32, 0, deg)
+				for j := 0; j < deg; j++ {
+					if len(newD) > 0 && r.Intn(4) == 0 {
+						ms = append(ms, newD[r.Intn(len(newD))])
+					} else {
+						ms = append(ms, int32(r.Intn(g.NumData())))
+					}
+				}
+				live = append(live, d.AddHyperedge(ms...))
+			default:
+				d.SetDataWeight(int32(r.Intn(g.NumData())), int32(1+r.Intn(4)))
+			}
+		}
+		if err := g.ApplyDelta(d); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertEdgeIdentical(t, g, rebuildFromScratch(t, g))
+	}
+}
+
+func TestValidateCatchesStaleCaches(t *testing.T) {
+	g := smallGraph(t)
+	_ = g.ComputeStats() // populate the memo at version 0
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the cached max degree: Validate must notice.
+	g.maxQDeg++
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a stale max query degree")
+	}
+	g.maxQDeg--
+	// Corrupt the stats memo without bumping the version.
+	g.statsCache.NumEdges++
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted stale cached stats")
+	}
+	g.statsCache.NumEdges--
+	// A mutation invalidates the memo by version, so Validate stays clean
+	// and ComputeStats returns fresh numbers.
+	before := g.ComputeStats()
+	d := NewDelta(g.NumQueries(), g.NumData())
+	d.RemoveHyperedge(0)
+	if err := g.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after := g.ComputeStats()
+	if after.NumEdges != before.NumEdges-3 {
+		t.Fatalf("stats not refreshed after mutation: %+v", after)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	g := smallGraph(t)
+	cp := g.Clone()
+	d := NewDelta(g.NumQueries(), g.NumData())
+	d.RemoveHyperedge(0)
+	d.AddHyperedge(2, 3)
+	if err := g.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if cp.NumQueries() != 4 || cp.NumEdges() != 12 || cp.Version() != 0 {
+		t.Fatal("clone changed when the original was mutated")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// And the other direction, from a mutable-layout original.
+	cp2 := g.Clone()
+	d2 := NewDelta(cp2.NumQueries(), cp2.NumData())
+	d2.RemoveHyperedge(2)
+	if err := cp2.ApplyDelta(d2); err != nil {
+		t.Fatal(err)
+	}
+	if g.QueryDegree(2) == 0 {
+		t.Fatal("mutating a clone affected the original")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseSegmentGrowth(t *testing.T) {
+	// One data vertex gains many new hyperedges, forcing repeated reverse
+	// segment relocations; adjacency must stay sorted and symmetric.
+	g, err := FromHyperedges(4, [][]int32{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		d := NewDelta(g.NumQueries(), g.NumData())
+		d.AddHyperedge(0, int32(1+i%3))
+		if err := g.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.DataDegree(0) != 41 {
+		t.Fatalf("data 0 degree %d, want 41", g.DataDegree(0))
+	}
+	ns := g.DataNeighbors(0)
+	if !sort.SliceIsSorted(ns, func(a, b int) bool { return ns[a] < ns[b] }) {
+		t.Fatal("reverse adjacency lost sortedness")
+	}
+}

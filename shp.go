@@ -13,8 +13,16 @@
 // Quickstart:
 //
 //	g, _ := shp.FromHyperedges(6, [][]int32{{0, 1, 5}, {0, 1, 2, 3}, {3, 4, 5}})
-//	res, _ := shp.Partition(g, shp.Options{K: 2, Seed: 42})
-//	fmt.Println(shp.Fanout(g, res.Assignment, 2))
+//	p, _ := shp.NewPartitioner(g, shp.Options{K: 2, Seed: 42})
+//	fmt.Println(shp.Fanout(g, p.Assignment(), 2))
+//
+// The central type is the Partitioner session: it owns a mutable
+// hypergraph, the current assignment, and the warm refinement state, so a
+// living graph can evolve through Apply(delta) and be re-partitioned
+// cheaply with Repartition — the paper's production mode, where shardings
+// are updated continuously instead of recomputed (Section 5). One-shot
+// helpers (Partition, PartitionMultiDim, PartitionDistributed) remain as
+// conveniences over a single-use session.
 //
 // The two execution strategies from the paper are both available:
 // recursive bisection (SHP-2, the default and the open-sourced variant) and
@@ -85,6 +93,18 @@ func WriteEdgeList(w io.Writer, g *Hypergraph) error { return hgio.WriteEdgeList
 // ReadAssignment reads one bucket id per line.
 func ReadAssignment(r io.Reader) ([]int32, error) { return hgio.ReadAssignment(r) }
 
+// ReadDeltaTrace parses chained delta batches in the line-oriented trace
+// format (addq/rmq/addd/setw/commit) written against a graph with the given
+// vertex counts.
+func ReadDeltaTrace(r io.Reader, baseQueries, baseData int) ([]*Delta, error) {
+	return hgio.ReadDeltaTrace(r, baseQueries, baseData)
+}
+
+// WriteDeltaTrace writes delta batches in the trace format.
+func WriteDeltaTrace(w io.Writer, deltas []*Delta) error {
+	return hgio.WriteDeltaTrace(w, deltas)
+}
+
 // WriteAssignment writes one bucket id per line.
 func WriteAssignment(w io.Writer, a []int32) error { return hgio.WriteAssignment(w, a) }
 
@@ -127,8 +147,73 @@ const (
 	PairExact     = core.PairExact
 )
 
+// Partitioner is a long-lived partitioning session over a mutable
+// hypergraph: it owns the graph, the current Assignment, and the warm
+// refinement state (neighbor-data CSR, patchable gain accumulators, bucket
+// loads). Build one with NewPartitioner, evolve the graph with Apply, and
+// call Repartition to absorb the changes at a cost proportional to the
+// churn rather than to |E|.
+type Partitioner struct {
+	s *core.Session
+}
+
+// NewPartitioner computes the initial partition of g (recursive SHP-2 by
+// default, SHP-k with Options.Direct) and returns the live session. The
+// session owns g from here on: mutate it only through Apply.
+func NewPartitioner(g *Hypergraph, opts Options) (*Partitioner, error) {
+	s, err := core.NewSession(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Partitioner{s: s}, nil
+}
+
+// Delta is an ordered batch of structural changes to a hypergraph:
+// AddHyperedge, RemoveHyperedge, AddData, and SetDataWeight ops, built
+// against known vertex counts and applied atomically.
+type Delta = hypergraph.Delta
+
+// NewDelta starts an empty delta against a graph with the given vertex
+// counts. Prefer Partitioner.NewDelta, which fills the counts in.
+func NewDelta(numQueries, numData int) *Delta {
+	return hypergraph.NewDelta(numQueries, numData)
+}
+
+// NewDelta starts an empty delta against the session's current graph.
+func (p *Partitioner) NewDelta() *Delta { return p.s.NewDelta() }
+
+// Apply splices the delta into the session's hypergraph — CSR splice with
+// spare capacity, reverse-adjacency patch, cache invalidation — and marks
+// the touched neighborhood dirty for the next Repartition. Atomic: on
+// error nothing changes. The assignment is not updated until Repartition
+// (new vertices read as Unassigned).
+func (p *Partitioner) Apply(d *Delta) error { return p.s.Apply(d) }
+
+// Repartition absorbs every delta applied since the last call: new
+// vertices are seeded by a greedy min-fanout placement, the warm engine
+// state is patched for the structural changes, and direct k-way refinement
+// runs from the current assignment, re-evaluating only what the churn
+// touched. With Options.MoveCostPenalty, each epoch additionally penalizes
+// moves away from its starting assignment to keep churn low.
+func (p *Partitioner) Repartition() (*Result, error) { return p.s.Repartition() }
+
+// Graph returns the session's hypergraph (read-only outside Apply).
+func (p *Partitioner) Graph() *Hypergraph { return p.s.Graph() }
+
+// Assignment returns a copy of the current assignment.
+func (p *Partitioner) Assignment() Assignment { return p.s.Assignment() }
+
+// Result returns the most recent partitioning result (the initial one, or
+// the last Repartition).
+func (p *Partitioner) Result() *Result { return p.s.Result() }
+
 // Partition runs SHP on g: recursive bisection by default, direct k-way
-// with Options.Direct.
+// with Options.Direct. It is a thin wrapper over a single-use Partitioner
+// session.
+//
+// Deprecated: new code should hold a Partitioner (NewPartitioner), which
+// subsumes this entry point and additionally supports dynamic graphs via
+// Apply/Repartition. Partition remains as a one-shot convenience.
 func Partition(g *Hypergraph, opts Options) (*Result, error) {
 	return core.Partition(g, opts)
 }
@@ -141,7 +226,12 @@ type MultiDimResult = core.MultiDimResult
 
 // PartitionMultiDim implements Section 5's heuristic for balance across
 // several load dimensions: over-partition into C*K buckets, then merge to K
-// while balancing every dimension.
+// while balancing every dimension. The fine partition inside it runs
+// through a single-use Partitioner session.
+//
+// Deprecated: for graphs that keep evolving, partition through a
+// Partitioner session (NewPartitioner) and apply the merge step on top;
+// PartitionMultiDim remains as a one-shot convenience.
 func PartitionMultiDim(g *Hypergraph, opts MultiDimOptions) (*MultiDimResult, error) {
 	return core.PartitionMultiDim(g, opts)
 }
@@ -157,6 +247,11 @@ type DistributedResult = distshp.Result
 // (the paper's Giraph implementation, Figure 3): four supersteps per
 // refinement iteration, master-side histogram pairing, and incremental
 // neighbor-data maintenance. K must be a power of two.
+//
+// Deprecated: for in-process dynamic workloads use a Partitioner session
+// (NewPartitioner), which keeps warm state between repartitions; the BSP
+// engine remains the one-shot reference for the paper's distributed mode
+// and has no session equivalent yet.
 func PartitionDistributed(g *Hypergraph, opts DistributedOptions) (*DistributedResult, error) {
 	return distshp.Partition(g, opts)
 }
@@ -247,6 +342,19 @@ func GenerateSocialEgoNets(n, avgDeg, communitySize int, intraProb float64, seed
 // communities of perGroup vertices each.
 func GeneratePlantedPartition(k, perGroup, numQ, qdeg int, purity float64, seed uint64) (*Hypergraph, error) {
 	return gen.PlantedPartition(k, perGroup, numQ, qdeg, purity, seed)
+}
+
+// ChurnGenerator produces an endless stream of chained Delta batches over a
+// living hypergraph: each batch replaces a churn-fraction of the live
+// hyperedges with perturbed successors and occasionally introduces new data
+// vertices — the dynamic-graph workload of the paper's production setting.
+type ChurnGenerator = gen.Churn
+
+// NewChurn prepares a churn generator over g with the given per-batch churn
+// fraction. Call Next for each batch and apply it (Partitioner.Apply or
+// Hypergraph.ApplyDelta) before requesting the following one.
+func NewChurn(g *Hypergraph, churnFraction float64, seed uint64) (*ChurnGenerator, error) {
+	return gen.NewChurn(g, churnFraction, seed)
 }
 
 // LatencyModel generates per-request latencies for the sharding simulator
