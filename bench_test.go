@@ -310,6 +310,45 @@ func BenchmarkMessagePlane(b *testing.B) {
 	}
 }
 
+// BenchmarkDistDelta quantifies the dirty-query delta plane: the
+// "incremental" and "full" runs are byte-identical in quality (pinned by
+// TestDistIncrementalMatchesFull), so the interesting metrics are the
+// gain-superstep bytes of late iterations (moved fraction <= 1%), where the
+// delta plane ships churn-proportional traffic while the full rebroadcast
+// stays O(|E|). Compare late-bytes/superstep between the two sub-benchmarks;
+// the reduction should be well above 3x.
+func BenchmarkDistDelta(b *testing.B) {
+	g := benchGraph(b, "social-small")
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"incremental", false},
+		{"full", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var lateBytes, lateIters, totalBytes float64
+			for i := 0; i < b.N; i++ {
+				res, err := shp.PartitionDistributed(g, shp.DistributedOptions{
+					K: 16, Seed: 1, Workers: 4, MinMoveFraction: 1e-9,
+					DisableIncremental: tc.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, lb := res.LateGainBytes(0.01)
+				lateBytes = float64(lb)
+				lateIters = float64(n)
+				totalBytes = float64(res.Stats.TotalBytes)
+			}
+			if lateIters > 0 {
+				b.ReportMetric(lateBytes/lateIters, "late-bytes/superstep")
+			}
+			b.ReportMetric(totalBytes, "msg-bytes")
+		})
+	}
+}
+
 func BenchmarkMetricsFanout(b *testing.B) {
 	g := benchGraph(b, "powerlaw-medium")
 	a := shp.RandomAssignment(g.NumData(), 32, 1)

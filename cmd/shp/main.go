@@ -10,6 +10,10 @@
 //	    [-distributed [-transport memory|tcp] [-no-combine]]
 //	    [-stream trace.txt -prune=false]
 //
+// -no-incremental applies to both engines: in-process it ablates the
+// incremental refinement engine; with -distributed it ablates the
+// dirty-query delta message plane (full per-iteration gain rebroadcasts).
+//
 // Every run reports end-to-end throughput as edges/s (|E| divided by the
 // partitioning wall-clock), so performance work is measurable outside
 // `go test -bench`. -cpuprofile and -memprofile write pprof files covering
@@ -133,7 +137,7 @@ func run() error {
 	}()
 
 	if *dist {
-		return runDistributed(g, *k, *p, *eps, *iters, *seed, *workers, *transport, *noCombine, *outPath)
+		return runDistributed(g, *k, *p, *eps, *iters, *seed, *workers, *transport, *noCombine, *noInc, *outPath)
 	}
 
 	opts := shp.Options{
@@ -260,13 +264,17 @@ func runStream(g *shp.Hypergraph, opts shp.Options, tracePath, outPath string) e
 }
 
 // runDistributed partitions on the BSP engine and reports its measured
-// message-plane traffic alongside the quality numbers.
+// message-plane traffic alongside the quality numbers: totals, per-protocol-
+// phase byte attribution, and the moved-vertices trajectory that drives the
+// dirty-query delta plane (-no-incremental ablates it back to full
+// per-iteration gain rebroadcasts).
 func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed uint64,
-	workers int, transport string, noCombine bool, outPath string) error {
+	workers int, transport string, noCombine, noInc bool, outPath string) error {
 
 	opts := shp.DistributedOptions{
 		K: k, P: p, Epsilon: eps, ItersPerLevel: iters,
 		Seed: seed, Workers: workers, DisableCombining: noCombine,
+		DisableIncremental: noInc,
 	}
 	switch transport {
 	case "memory":
@@ -290,6 +298,17 @@ func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed ui
 	fmt.Fprintf(os.Stderr, "messages:  %d total, %d crossed workers, %.2f MB on the %s plane\n",
 		res.Stats.TotalMessages, res.Stats.RemoteMessages,
 		float64(res.Stats.TotalBytes)/(1<<20), transport)
+	phases := res.Stats.PhaseTotals(4)
+	fmt.Fprintf(os.Stderr, "phase KB:  bucket-updates %.1f, gain/delta %.1f, proposals %.1f, moves %.1f\n",
+		float64(phases[0].BytesSent)/(1<<10), float64(phases[1].BytesSent)/(1<<10),
+		float64(phases[2].BytesSent)/(1<<10), float64(phases[3].BytesSent)/(1<<10))
+	var totalMoved int64
+	for _, rec := range res.History {
+		totalMoved += rec.Moved
+	}
+	late, lateBytes := res.LateGainBytes(0.01)
+	fmt.Fprintf(os.Stderr, "moved:     %d vertices across %d iterations; %d late iterations (<=1%% moved) shipped %.1f KB on the gain/delta superstep\n",
+		totalMoved, len(res.History), late, float64(lateBytes)/(1<<10))
 
 	out := os.Stdout
 	if outPath != "" {

@@ -1220,26 +1220,13 @@ func (st *directState) patchVertex(v int32, wq float64, recs []ndChange) {
 	ci := 0
 	for _, r := range recs {
 		if r.b == cur {
-			T := st.tables[cur].T
-			var oldT, newT float64
-			if r.cOld > 0 {
-				oldT = T[r.cOld-1]
-			}
-			if r.cNew > 0 {
-				newT = T[r.cNew-1]
-			}
-			st.propBase[v] += wq * (newT - oldT)
+			st.propBase[v] += wq * st.tables[cur].DeltaOwn(r.cOld, r.cNew)
 			continue
 		}
-		T := st.tables[r.b].T
-		t0 := T[0]
-		var gOld, gNew float64
-		if r.cOld > 0 {
-			gOld = T[r.cOld] - t0
-		}
-		if r.cNew > 0 {
-			gNew = T[r.cNew] - t0
-		}
+		// DeltaAway is the exact candidate-accumulator change: the candidate
+		// terms are T[c]−T[0] (0 when absent), and the T[0]s cancel in the
+		// difference.
+		dAcc := st.tables[r.b].DeltaAway(r.cOld, r.cNew)
 		var dref int32
 		if r.cOld == 0 {
 			dref++
@@ -1255,13 +1242,13 @@ func (st *directState) patchVertex(v int32, wq float64, recs []ndChange) {
 			if cands[ci].refs <= 0 {
 				cands = append(cands[:ci], cands[ci+1:]...)
 			} else {
-				cands[ci].acc += wq * (gNew - gOld)
+				cands[ci].acc += wq * dAcc
 			}
 			continue
 		}
 		cands = append(cands, proposalCand{})
 		copy(cands[ci+1:], cands[ci:])
-		cands[ci] = proposalCand{b: r.b, refs: dref, acc: wq * (gNew - gOld)}
+		cands[ci] = proposalCand{b: r.b, refs: dref, acc: wq * dAcc}
 		ci++
 	}
 	st.cand[v] = cands

@@ -111,3 +111,40 @@ func tablesFor(opts Options, t int, maxN int) GainTables {
 // Mult returns the gain multiplier (p for probabilistic fanout, 1 for the
 // clique-net objective). Exposed for the distributed implementation.
 func (g GainTables) Mult() float64 { return g.mult }
+
+// Patch arithmetic for incrementally maintained Equation 1 accumulators.
+//
+// Both in-process refiners and the distributed plane maintain per-vertex
+// gain sums whose terms are table values T[·]: the own-bucket sum
+// Σ_q T[n_cur(q)−1] and, per candidate/sibling bucket b, sums of T[n_b(q)]
+// terms. When one query's count in bucket b changes cOld → cNew, the exact
+// change to those sums is a difference of two table values. Because every
+// T entry lies on the shared dyadic grid (gainGridBits), these differences —
+// and any sequence of them folded into an accumulator — are exact float64
+// arithmetic while |sum| < 2^(53-gainGridBits), so a patched accumulator is
+// bit-identical to a from-scratch resummation in any order. DeltaOwn and
+// DeltaAway are that arithmetic, shared so the distributed implementation
+// patches with exactly the bits the in-process engine uses.
+
+// DeltaOwn returns the change to an own-bucket accumulator term
+// (contribution T[c−1], or 0 when the vertex's bucket has no entry) when a
+// query's count there goes cOld → cNew. Counts of 0 mean "entry absent".
+func (g GainTables) DeltaOwn(cOld, cNew int32) float64 {
+	var oldT, newT float64
+	if cOld > 0 {
+		oldT = g.T[cOld-1]
+	}
+	if cNew > 0 {
+		newT = g.T[cNew-1]
+	}
+	return newT - oldT
+}
+
+// DeltaAway returns the change to an away-bucket accumulator term when a
+// query's count there goes cOld → cNew. It serves both conventions in use:
+// the candidate form T[c]−T[0] (zero when absent) and the raw sibling form
+// T[c] (T[0] when absent) — the constant terms cancel in the difference, so
+// T[cNew] − T[cOld] is the exact delta for both.
+func (g GainTables) DeltaAway(cOld, cNew int32) float64 {
+	return g.T[cNew] - g.T[cOld]
+}

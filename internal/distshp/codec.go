@@ -85,6 +85,82 @@ func (bucketBatchCodec) Size(m pregel.Message) int {
 	return n + len(batch)*bucketWireSize
 }
 
+// deltaWireSize is msgDelta's fixed encoding: Query, Bucket, COld, and CNew
+// as little-endian uint32s.
+const deltaWireSize = 16
+
+func appendDelta(buf []byte, m msgDelta) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Query))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Bucket))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.COld))
+	return binary.LittleEndian.AppendUint32(buf, uint32(m.CNew))
+}
+
+func decodeDelta(data []byte) (msgDelta, error) {
+	if len(data) < deltaWireSize {
+		return msgDelta{}, fmt.Errorf("distshp: truncated msgDelta")
+	}
+	return msgDelta{
+		Query:  int32(binary.LittleEndian.Uint32(data[0:4])),
+		Bucket: int32(binary.LittleEndian.Uint32(data[4:8])),
+		COld:   int32(binary.LittleEndian.Uint32(data[8:12])),
+		CNew:   int32(binary.LittleEndian.Uint32(data[12:16])),
+	}, nil
+}
+
+type deltaCodec struct{}
+
+func (deltaCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	return appendDelta(buf, m.(msgDelta)), nil
+}
+
+func (deltaCodec) Decode(data []byte) (pregel.Message, int, error) {
+	m, err := decodeDelta(data)
+	return m, deltaWireSize, err
+}
+
+func (deltaCodec) Size(pregel.Message) int { return deltaWireSize }
+
+type deltaBatchCodec struct{}
+
+func (deltaBatchCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	batch := m.(msgDeltaBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(batch)))
+	for _, r := range batch {
+		buf = appendDelta(buf, r)
+	}
+	return buf, nil
+}
+
+func (deltaBatchCodec) Decode(data []byte) (pregel.Message, int, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("distshp: truncated msgDeltaBatch count")
+	}
+	if n > uint64(len(data)/deltaWireSize)+1 {
+		return nil, 0, fmt.Errorf("distshp: msgDeltaBatch count %d exceeds payload", n)
+	}
+	batch := make(msgDeltaBatch, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, err := decodeDelta(data[used:])
+		if err != nil {
+			return nil, 0, err
+		}
+		used += deltaWireSize
+		batch = append(batch, r)
+	}
+	return batch, used, nil
+}
+
+func (deltaBatchCodec) Size(m pregel.Message) int {
+	batch := m.(msgDeltaBatch)
+	n := 1
+	for v := uint64(len(batch)); v >= 0x80; v >>= 7 {
+		n++
+	}
+	return n + len(batch)*deltaWireSize
+}
+
 type gainCodec struct{}
 
 func (gainCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
@@ -113,5 +189,7 @@ func newRegistry() *pregel.Registry {
 	reg.Register(msgBucket{}, bucketCodec{})
 	reg.Register(msgBucketBatch(nil), bucketBatchCodec{})
 	reg.Register(msgGain{}, gainCodec{})
+	reg.Register(msgDelta{}, deltaCodec{})
+	reg.Register(msgDeltaBatch(nil), deltaBatchCodec{})
 	return reg
 }

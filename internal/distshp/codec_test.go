@@ -38,6 +38,14 @@ func TestWireCodecs(t *testing.T) {
 		{Data: 2, New: 1},
 		{Data: 3, New: 1},
 	})
+	roundTrip(t, deltaCodec{}, msgDelta{Query: 9, Bucket: 4, COld: 2, CNew: 3})
+	roundTrip(t, deltaCodec{}, msgDelta{Query: 1 << 29, Bucket: 0, COld: 0, CNew: 7})
+	roundTrip(t, deltaBatchCodec{}, msgDeltaBatch{
+		{Query: 1, Bucket: 2, COld: 3, CNew: 4},
+		{Query: 1, Bucket: 3, COld: 1, CNew: 0},
+		{Query: 5, Bucket: 2, COld: 0, CNew: 1},
+	})
+	roundTrip(t, deltaBatchCodec{}, msgDeltaBatch{})
 }
 
 func TestCodecTruncation(t *testing.T) {
@@ -52,6 +60,25 @@ func TestCodecTruncation(t *testing.T) {
 	}
 	if _, _, err := (bucketBatchCodec{}).Decode([]byte{3, 0, 0}); err == nil {
 		t.Fatal("batch count exceeding payload should fail")
+	}
+	if _, _, err := (deltaCodec{}).Decode(make([]byte, deltaWireSize-1)); err == nil {
+		t.Fatal("truncated msgDelta should fail")
+	}
+	if _, _, err := (deltaBatchCodec{}).Decode(nil); err == nil {
+		t.Fatal("empty msgDeltaBatch frame should fail")
+	}
+	if _, _, err := (deltaBatchCodec{}).Decode([]byte{200}); err == nil {
+		t.Fatal("truncated delta batch count should fail")
+	}
+	if _, _, err := (deltaBatchCodec{}).Decode([]byte{2, 0, 0, 0}); err == nil {
+		t.Fatal("delta batch count exceeding payload should fail")
+	}
+	buf, err := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{{Query: 1, Bucket: 2, COld: 0, CNew: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (deltaBatchCodec{}).Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("delta batch with truncated last record should fail")
 	}
 }
 
@@ -71,4 +98,56 @@ func TestCombineSemantics(t *testing.T) {
 	if len(merged) != 4 {
 		t.Fatalf("batch-batch combine = %+v", merged)
 	}
+}
+
+// TestCombineDeltaRecords checks combiner behavior on merged delta records:
+// any association order over the four record/batch pairings must flatten to
+// the same batch with every record exactly once, in send order — merging
+// already-merged batches neither drops nor duplicates records.
+func TestCombineDeltaRecords(t *testing.T) {
+	r := func(i int32) msgDelta { return msgDelta{Query: i, Bucket: i % 4, COld: i, CNew: i + 1} }
+	want := msgDeltaBatch{r(1), r(2), r(3), r(4)}
+	cases := []struct {
+		name string
+		got  pregel.Message
+	}{
+		{"left-assoc (record+record, batch+record)", combine(combine(combine(r(1), r(2)), r(3)), r(4))},
+		{"right-assoc (record+batch)", combine(r(1), combine(r(2), combine(r(3), r(4))))},
+		{"balanced (batch+batch)", combine(combine(r(1), r(2)), combine(r(3), r(4)))},
+	}
+	for _, tc := range cases {
+		got := tc.got.(msgDeltaBatch)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records, want %d: %+v", tc.name, len(got), len(want), got)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: record %d = %+v, want %+v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+	// Re-merging merged batches keeps the flat record multiset intact.
+	left := combine(r(1), r(2)).(msgDeltaBatch)
+	right := combine(r(3), r(4)).(msgDeltaBatch)
+	again := combine(combine(left, right), combine(r(5), r(6))).(msgDeltaBatch)
+	if len(again) != 6 {
+		t.Fatalf("re-merged batches hold %d records, want 6: %+v", len(again), again)
+	}
+	for i := range again {
+		if again[i] != r(int32(i+1)) {
+			t.Fatalf("re-merged record %d = %+v, want %+v", i, again[i], r(int32(i+1)))
+		}
+	}
+}
+
+// TestCombineRejectsMixedKinds pins the protocol invariant the combiner
+// enforces: a vertex is either rebuilding (gains only) or clean (deltas
+// only) within a superstep, so cross-kind merges must fail loudly.
+func TestCombineRejectsMixedKinds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("combining msgGain with msgDelta should panic")
+		}
+	}()
+	combine(msgGain{Cur: 1}, msgDelta{Query: 1})
 }

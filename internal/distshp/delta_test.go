@@ -1,0 +1,323 @@
+package distshp
+
+// Tests of the incremental (dirty-query delta) message plane: pinned
+// equivalence against the full-rebroadcast path, patched-vs-rebuilt
+// accumulator properties through real codec round-trips, and the
+// churn-proportional traffic claim itself.
+
+import (
+	"reflect"
+	"testing"
+
+	"shp/internal/core"
+	"shp/internal/pregel"
+	"shp/internal/rng"
+)
+
+// requireSameResult pins two runs byte-identical: assignments, iteration
+// counts, and the full per-iteration history including bitwise fanout.
+func requireSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("%s: assignments differ at vertex %d: %d vs %d", label, i, a.Assignment[i], b.Assignment[i])
+		}
+	}
+	if a.Levels != b.Levels || a.Iterations != b.Iterations {
+		t.Fatalf("%s: schedule differs: %d levels/%d iters vs %d/%d",
+			label, a.Levels, a.Iterations, b.Levels, b.Iterations)
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("%s: history length %d vs %d", label, len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		// Fanout is compared bitwise: the live-entry accounting must agree
+		// exactly, not approximately, between the two planes.
+		if a.History[i] != b.History[i] {
+			t.Fatalf("%s: history[%d] differs: %+v vs %+v", label, i, a.History[i], b.History[i])
+		}
+	}
+}
+
+// TestDistIncrementalMatchesFull pins the dirty-query delta plane
+// byte-identical to the full-rebroadcast path (DisableIncremental) across
+// both transports and multiple seeds: same assignments, same per-iteration
+// moved counts, bitwise-equal fanout history.
+func TestDistIncrementalMatchesFull(t *testing.T) {
+	numQ, numD, edges := 300, 450, 2600
+	if testing.Short() {
+		numQ, numD, edges = 180, 260, 1500
+	}
+	transports := []struct {
+		name string
+		make func() pregel.Transport
+	}{
+		{"memory", func() pregel.Transport { return nil }},
+		{"tcp", pregel.TCPTransport},
+	}
+	for _, seed := range []uint64{31, 32} {
+		g := randomBipartite(t, seed, numQ, numD, edges)
+		for _, tr := range transports {
+			opts := Options{K: 8, Seed: seed, Workers: 4, Transport: tr.make()}
+			inc, err := Partition(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Transport = tr.make()
+			opts.DisableIncremental = true
+			full, err := Partition(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, tr.name, inc, full)
+			if err := inc.Assignment.Validate(8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestDistRebuildScheduleInvariant checks the incremental plane's escape
+// hatches are pure performance knobs: rebroadcasting every iteration
+// (RebuildEvery=1), never (RebuildEvery=-1), and the default safety net all
+// produce identical bits, with and without sender-side combining.
+func TestDistRebuildScheduleInvariant(t *testing.T) {
+	g := randomBipartite(t, 37, 200, 300, 1800)
+	base, err := Partition(g, Options{K: 4, Seed: 7, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Options{
+		{K: 4, Seed: 7, Workers: 3, RebuildEvery: 1},
+		{K: 4, Seed: 7, Workers: 3, RebuildEvery: -1},
+		{K: 4, Seed: 7, Workers: 3, RebuildEvery: 1, DisableCombining: true},
+	} {
+		res, err := Partition(g, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "rebuild-schedule", base, res)
+	}
+}
+
+// TestDistDeltaPatchProperty is the distributed mirror of core's
+// patched-vs-rebuilt property tests: random move batches flow through the
+// real query-side diff (applyUpdate + deltaRecords), the real wire codecs,
+// and the real data-side patch (applyDelta); after every batch the patched
+// accumulators of clean observer vertices must bit-equal a from-scratch
+// resummation of the query histograms.
+func TestDistDeltaPatchProperty(t *testing.T) {
+	const (
+		numData  = 60
+		numQuery = 8
+		buckets  = 8
+		rounds   = 50
+	)
+	r := rng.New(4242)
+	tb := core.NewPFanoutTables(0.5, 2, numData+1)
+
+	bucketOf := make([]int32, numData)
+	for d := range bucketOf {
+		bucketOf[d] = int32(r.Intn(buckets))
+	}
+
+	members := make([][]int32, numQuery)
+	isMember := make([]map[int32]bool, numQuery)
+	qs := make([]*queryState, numQuery)
+	for q := range qs {
+		set := map[int32]bool{}
+		for i := 0; i < 24; i++ {
+			set[int32(r.Intn(numData))] = true
+		}
+		st := &queryState{q: int32(q), counts: map[int32]int32{}, dataBucket: map[int32]int32{}}
+		for d := int32(0); d < numData; d++ {
+			if !set[d] {
+				continue
+			}
+			members[q] = append(members[q], d)
+			st.dataBucket[d] = bucketOf[d]
+			st.counts[bucketOf[d]]++
+		}
+		isMember[q] = set
+		qs[q] = st
+	}
+
+	// Observers never move; their accumulators are patched only.
+	observers := []int32{0, 1, 2, 3, 4, 5}
+	isObserver := map[int32]bool{}
+	obs := map[int32]*dataState{}
+	scratchSums := func(o int32, bucket int32) (float64, float64) {
+		var cur, oth float64
+		for q := range qs {
+			if !isMember[q][o] {
+				continue
+			}
+			cur += tb.T[qs[q].counts[bucket]-1]
+			oth += tb.T[qs[q].counts[bucket^1]]
+		}
+		return cur, oth
+	}
+	for _, o := range observers {
+		isObserver[o] = true
+		ds := &dataState{d: o, bucket: bucketOf[o]}
+		ds.sumCur, ds.sumOth = scratchSums(o, ds.bucket)
+		obs[o] = ds
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Random move batch (observers excluded).
+		moves := map[int32]int32{}
+		for i := 0; i < 1+r.Intn(6); i++ {
+			d := int32(r.Intn(numData))
+			if isObserver[d] {
+				continue
+			}
+			moves[d] = int32(r.Intn(buckets))
+		}
+		// Each dirty query diffs its histogram and routes records to its
+		// clean members, exactly as computeQuery does.
+		batches := map[int32]msgDeltaBatch{}
+		for q, st := range qs {
+			touched := map[int32]int32{}
+			dirty := false
+			for _, d := range members[q] {
+				if nb, ok := moves[d]; ok {
+					st.applyUpdate(msgBucket{Data: d, New: nb}, touched)
+					dirty = true
+				}
+			}
+			if !dirty {
+				continue
+			}
+			recs := st.deltaRecords(touched)
+			for _, rec := range recs {
+				// Single-record wire round trip.
+				buf, err := (deltaCodec{}).Append(nil, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, used, err := (deltaCodec{}).Decode(buf)
+				if err != nil || used != len(buf) || got.(msgDelta) != rec {
+					t.Fatalf("round %d: msgDelta round trip: got %+v (used %d, err %v), want %+v",
+						round, got, used, err, rec)
+				}
+			}
+			for _, d := range members[q] {
+				if _, movedNow := moves[d]; movedNow {
+					continue
+				}
+				ds, ok := obs[d]
+				if !ok {
+					continue
+				}
+				for _, rec := range recs {
+					if rec.Bucket == ds.bucket || rec.Bucket == ds.bucket^1 {
+						batches[d] = append(batches[d], rec)
+					}
+				}
+			}
+		}
+		for d, nb := range moves {
+			bucketOf[d] = nb
+		}
+		// Batched wire round trip (the sender-side-combined form), then
+		// patch the observers.
+		for _, o := range observers {
+			batch := batches[o]
+			if len(batch) == 0 {
+				continue
+			}
+			buf, err := (deltaBatchCodec{}).Append(nil, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(buf) != (deltaBatchCodec{}).Size(batch) {
+				t.Fatalf("round %d: batch Size %d != encoded %d", round, (deltaBatchCodec{}).Size(batch), len(buf))
+			}
+			decoded, used, err := (deltaBatchCodec{}).Decode(buf)
+			if err != nil || used != len(buf) || !reflect.DeepEqual(decoded, batch) {
+				t.Fatalf("round %d: batch round trip failed (used %d, err %v)", round, used, err)
+			}
+			for _, rec := range decoded.(msgDeltaBatch) {
+				obs[o].applyDelta(tb, rec)
+			}
+		}
+		// Patched must bit-equal rebuilt.
+		for _, o := range observers {
+			ds := obs[o]
+			wantCur, wantOth := scratchSums(o, ds.bucket)
+			if ds.sumCur != wantCur || ds.sumOth != wantOth {
+				t.Fatalf("round %d: observer %d patched sums (%v, %v) != rebuilt (%v, %v)",
+					round, o, ds.sumCur, ds.sumOth, wantCur, wantOth)
+			}
+		}
+	}
+}
+
+// TestDistDeltaCutsLateSuperstepBytes asserts the tentpole claim: once the
+// moved fraction falls to <= 1%, the delta plane's gain-superstep traffic is
+// at least 3x smaller than the full rebroadcast's (which stays O(|E|) per
+// iteration no matter how little moves).
+func TestDistDeltaCutsLateSuperstepBytes(t *testing.T) {
+	communities, perCommunity, queries, qdeg := 4, 200, 900, 6
+	if testing.Short() {
+		communities, perCommunity, queries, qdeg = 4, 150, 700, 4
+	}
+	g := plantedGraph(t, communities, perCommunity, queries, qdeg)
+	opts := Options{K: 8, Seed: 42, Workers: 4, MinMoveFraction: 1e-9}
+	inc, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableIncremental = true
+	full, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "late-bytes", inc, full)
+	if got, want := inc.Stats.Supersteps, 4*len(inc.History); got != want {
+		t.Fatalf("supersteps %d != 4 x %d iterations", got, len(inc.History))
+	}
+	late, incLate := inc.LateGainBytes(0.01)
+	fullLateIters, fullLate := full.LateGainBytes(0.01)
+	if late != fullLateIters {
+		t.Fatalf("late iteration sets differ: %d vs %d (histories are pinned equal)", late, fullLateIters)
+	}
+	if late == 0 {
+		t.Fatal("no late (<=1% moved) iterations; graph or schedule too small to test the claim")
+	}
+	if incLate*3 > fullLate {
+		t.Fatalf("late gain-superstep bytes: incremental %d vs full %d over %d iterations — less than the required 3x reduction",
+			incLate, fullLate, late)
+	}
+	if inc.Stats.TotalBytes >= full.Stats.TotalBytes {
+		t.Fatalf("incremental total bytes %d not below full %d", inc.Stats.TotalBytes, full.Stats.TotalBytes)
+	}
+}
+
+// TestDistTCPIncrementalMatchesMemory runs the incremental plane over real
+// loopback-TCP sockets with concurrent per-pair reader/writer goroutines —
+// the configuration the CI race job exercises — and pins it to the
+// in-process transport.
+func TestDistTCPIncrementalMatchesMemory(t *testing.T) {
+	numQ, numD, edges := 300, 500, 3000
+	if testing.Short() {
+		numQ, numD, edges = 150, 250, 1500
+	}
+	g := randomBipartite(t, 47, numQ, numD, edges)
+	mem, err := Partition(g, Options{K: 8, Seed: 13, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := Partition(g, Options{K: 8, Seed: 13, Workers: 4, Transport: pregel.TCPTransport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "tcp-vs-memory", mem, tcp)
+	if tcp.Stats.TotalBytes == 0 {
+		t.Fatal("TCP incremental run measured zero wire bytes")
+	}
+	if err := tcp.Assignment.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,14 +6,44 @@
 //
 //	superstep 0: data vertices send their (changed) bucket to adjacent
 //	             queries, which maintain neighbor data incrementally;
-//	superstep 1: queries send each adjacent data vertex the two neighbor-
-//	             data entries relevant to its sibling pair (at most r = 2
-//	             values, the recursive-partitioning reduction of Sec. 3.3);
+//	superstep 1: queries send each adjacent data vertex what it needs to
+//	             bring its sibling-pair gain state up to date (see below);
 //	superstep 2: data vertices compute Equation 1 move gains and propose
 //	             (direction, gain) to the master through an aggregator;
 //	superstep 3: the master's per-pair histogram matching produces move
 //	             probabilities, broadcast via an aggregator; data vertices
 //	             flip their coins and move.
+//
+// # The incremental message plane
+//
+// By default superstep 1 ships work proportional to churn, not to |E|: the
+// same dirty-query delta scheme the in-process engine uses (core/direct.go),
+// pushed across superstep message boundaries.
+//
+//   - Every data vertex carries persistent Equation 1 accumulators: sumCur =
+//     Σ_q T[n_cur(q)−1] and sumOth = Σ_q T[n_sib(q)] over its adjacent
+//     queries, for its current sibling pair.
+//   - After a move round, a dirty query (one that received bucket updates)
+//     diffs its per-bucket histogram and emits (query, bucket, cOld, cNew)
+//     delta records — only for buckets whose counts changed, and only to the
+//     clean members whose pair contains the changed bucket. Receivers patch
+//     their accumulators through core.GainTables.DeltaOwn / DeltaAway.
+//   - Members that moved (their own frame changed, so patched sums would
+//     refer to the wrong pair side) instead receive a full msgGain
+//     contribution from every adjacent query — all of which are dirty,
+//     because the mover broadcast its new bucket — and resum from scratch.
+//   - All gain-table values live on the shared dyadic grid (core's
+//     gainGridBits), so patched accumulators land bit-for-bit on the same
+//     floats a full resummation produces, in any order: the incremental and
+//     full paths yield byte-identical partitions and histories.
+//   - The master mirrors the in-process engine's two escape hatches: when an
+//     iteration moves more than 1/rebuildFallbackDiv of the vertices, the
+//     next superstep 1 is a full rebroadcast (patching would cost more than
+//     a sweep), and every Options.RebuildEvery iterations a safety-net full
+//     rebroadcast re-derives every accumulator from the histograms.
+//
+// Options.DisableIncremental restores the full per-iteration rebroadcast:
+// every query re-sends every member's msgGain contribution each iteration.
 //
 // Recursive levels are scheduled by the master: when a level converges
 // (moved fraction below threshold) or exhausts its iterations, every data
@@ -25,6 +55,7 @@ package distshp
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"shp/internal/core"
@@ -66,8 +97,24 @@ type Options struct {
 	DisableLookahead bool
 	// DisableDirtyOnly makes data vertices re-send their bucket to queries
 	// every iteration instead of only after moves (ablation of the
-	// neighbor-data caching optimization from Section 3.3).
+	// neighbor-data caching optimization from Section 3.3). Every neighbor
+	// then counts as freshly updated, so it also implies full per-iteration
+	// gain rebroadcasts.
 	DisableDirtyOnly bool
+	// DisableIncremental turns off the dirty-query delta plane: superstep 1
+	// rebroadcasts every member's full gain contribution each iteration
+	// instead of patching persistent accumulators with per-bucket count
+	// diffs. Both paths produce byte-identical partitions and histories for
+	// a fixed seed; this is an ablation/debugging knob, not a quality
+	// trade-off.
+	DisableIncremental bool
+	// RebuildEvery is the period, in refinement iterations within a level,
+	// of the incremental plane's safety-net full gain rebroadcast (the
+	// rebroadcast re-derives exactly the maintained accumulators, so it
+	// never changes results — it bounds the blast radius of any future
+	// maintenance bug). 0 means the default of 64 (mirroring the in-process
+	// engine's NDRebuildEvery); negative disables the safety net.
+	RebuildEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -86,7 +133,37 @@ func (o Options) withDefaults() Options {
 	if o.Workers == 0 {
 		o.Workers = 4
 	}
+	if o.RebuildEvery == 0 {
+		o.RebuildEvery = 64
+	}
 	return o
+}
+
+// rebuildFallbackDiv sets the deterministic patch-vs-rebroadcast switch, the
+// distributed mirror of core's sweepFallbackDiv: when an iteration moves
+// more than NumData/rebuildFallbackDiv vertices, delta traffic to the
+// members of dirty queries would exceed one full rebroadcast, so the master
+// schedules a full superstep 1 instead. The threshold is tighter than the
+// in-process engine's 1/8 because the cost model differs: a full superstep 1
+// is heavily sender-side combined (one envelope per worker/destination pair)
+// while delta records ship per dirty query, so on the wire the break-even
+// sits near 1/32 moved (measured across the planted/random test graphs).
+// Both regimes produce identical state, so this is a pure performance knob.
+const rebuildFallbackDiv = 32
+
+// IterRecord is one refinement iteration's master-side summary.
+type IterRecord struct {
+	// Level is the bisection level the iteration ran at.
+	Level int
+	// Iter is the iteration index within the level.
+	Iter int
+	// Moved counts the data vertices that moved in this iteration.
+	Moved int64
+	// Fanout is the average fanout over the current level's buckets of the
+	// assignment this iteration's proposals were computed from (i.e. before
+	// its moves), maintained by the master from per-query live-entry diffs
+	// at zero extra graph passes.
+	Fanout float64
 }
 
 // Result is a finished distributed partitioning.
@@ -97,6 +174,10 @@ type Result struct {
 	Levels int
 	// Iterations across all levels.
 	Iterations int
+	// History records every refinement iteration in order. Iteration j
+	// occupies supersteps 4j..4j+3 of Stats.PerSuperstep, so per-iteration
+	// traffic can be attributed to protocol phases.
+	History []IterRecord
 	// Engine statistics: per-superstep message and byte counts.
 	Stats *pregel.Stats
 	// Elapsed wall-clock time.
@@ -104,6 +185,37 @@ type Result struct {
 	// TotalTime is Elapsed multiplied by the worker count: the paper's
 	// "total time" metric (Figure 5).
 	TotalTime time.Duration
+}
+
+// LateGainBytes sums the gain/delta-superstep traffic of the run's "late"
+// iterations — those whose superstep-1 workload was driven by at most
+// maxMovedFraction of the data vertices moving — and returns the iteration
+// count alongside the bytes. Iteration j's gain superstep (4j+1) ships the
+// consequences of iteration j-1's moves, so the filter reads the previous
+// iteration's Moved; level-start iterations are excluded because their
+// superstep 1 is the O(|E|) registration rebroadcast on every plane. This is
+// the one place the late-traffic attribution lives: tests, benchmarks, the
+// CLI, and the dist-delta experiment all report through it.
+func (r *Result) LateGainBytes(maxMovedFraction float64) (iters int, bytes int64) {
+	if r.Stats == nil || len(r.Assignment) == 0 {
+		return 0, 0
+	}
+	budget := maxMovedFraction * float64(len(r.Assignment))
+	for j, rec := range r.History {
+		if rec.Iter == 0 {
+			continue // level start: registration rebroadcast, not churn-driven
+		}
+		// Iter > 0 implies History[j-1] is the same level's previous
+		// iteration, whose moves produced this superstep's traffic.
+		if float64(r.History[j-1].Moved) > budget {
+			continue
+		}
+		if s := 4*j + 1; s < len(r.Stats.PerSuperstep) {
+			iters++
+			bytes += r.Stats.PerSuperstep[s].BytesSent
+		}
+	}
+	return iters, bytes
 }
 
 // message kinds exchanged between vertices.
@@ -126,15 +238,36 @@ type (
 	// table. This is the combinable reduction of the paper's r = 2
 	// neighbor-data counts (Section 3.3): contributions from different
 	// queries simply add, so sender-side combining collapses each worker's
-	// per-data traffic to one message.
+	// per-data traffic to one message. A vertex that receives msgGain
+	// resums its persistent accumulators from scratch (every adjacent
+	// query is guaranteed to have sent one).
 	msgGain struct {
 		Cur, Oth float64 // sum of T[n(current bucket)-1] and T[n(sibling)]
 	}
+	// msgDelta: query -> data, one changed neighbor-data entry of a dirty
+	// query: bucket Bucket's adjacent-data count went COld -> CNew (0 =
+	// entry absent). Sent only to clean members whose sibling pair contains
+	// Bucket; receivers patch their persistent accumulators through the
+	// exact dyadic-grid arithmetic of core.GainTables.DeltaOwn/DeltaAway.
+	msgDelta struct {
+		Query  int32
+		Bucket int32
+		COld   int32
+		CNew   int32
+	}
+	// msgDeltaBatch is the sender-side-combined form of msgDelta: all of
+	// one worker's delta records for one data vertex, shipped as a single
+	// envelope. Exact patch arithmetic makes the record order irrelevant
+	// to the result; combining preserves send order anyway.
+	msgDeltaBatch []msgDelta
 )
 
-// combine is the engine combiner: msgGain adds; msgBucket batches. The
-// engine applies it in the per-destination outbox, so both cut the envelope
-// count that crosses workers.
+// combine is the engine combiner: msgGain adds; msgBucket and msgDelta
+// batch. The engine applies it in the per-destination outbox, so all three
+// cut the envelope count that crosses workers. The protocol never mixes
+// kinds for one destination in one superstep (a vertex is either a mover —
+// gains from every adjacent query — or clean — deltas only), so cross-kind
+// merges are a protocol violation and panic.
 func combine(a, b pregel.Message) pregel.Message {
 	switch x := a.(type) {
 	case msgGain:
@@ -150,6 +283,16 @@ func combine(a, b pregel.Message) pregel.Message {
 			return append(x, y)
 		}
 		return append(x, b.(msgBucketBatch)...)
+	case msgDelta:
+		if y, ok := b.(msgDelta); ok {
+			return msgDeltaBatch{x, y}
+		}
+		return append(msgDeltaBatch{x}, b.(msgDeltaBatch)...)
+	case msgDeltaBatch:
+		if y, ok := b.(msgDelta); ok {
+			return append(x, y)
+		}
+		return append(x, b.(msgDeltaBatch)...)
 	}
 	panic(fmt.Sprintf("distshp: uncombinable message %T", a))
 }
@@ -160,8 +303,29 @@ type dataState struct {
 	bucket int32 // bucket id within the current level, in [0, 2^(level+1))
 	moved  bool  // moved in the previous iteration (drives dirty-only sends)
 	level  int
-	// Gain for moving to the sibling bucket, computed in superstep 2.
+	// Persistent Equation 1 accumulators for the current sibling pair:
+	// sumCur = Σ_q T[n_bucket(q)−1], sumOth = Σ_q T[n_sibling(q)]. Resummed
+	// from msgGain after a move (or rebroadcast), patched from msgDelta
+	// records otherwise; exact dyadic-grid arithmetic keeps the two
+	// maintenance regimes bit-identical.
+	sumCur, sumOth float64
+	// Gain for moving to the sibling bucket, derived in superstep 2.
 	gain float64
+}
+
+// applyDelta folds one dirty-query delta record into the vertex's persistent
+// accumulators. Records are routed by the sender to members whose pair
+// contains the changed bucket, so anything else is a protocol violation.
+func (st *dataState) applyDelta(tb core.GainTables, r msgDelta) {
+	switch r.Bucket {
+	case st.bucket:
+		st.sumCur += tb.DeltaOwn(r.COld, r.CNew)
+	case st.bucket ^ 1:
+		st.sumOth += tb.DeltaAway(r.COld, r.CNew)
+	default:
+		panic(fmt.Sprintf("distshp: delta for bucket %d reached vertex %d in bucket %d",
+			r.Bucket, st.d, st.bucket))
+	}
 }
 
 // queryState is the per-query-vertex state: the paper's "neighbor data".
@@ -170,6 +334,57 @@ type queryState struct {
 	level      int
 	counts     map[int32]int32 // bucket -> count of adjacent data there
 	dataBucket map[int32]int32 // data id -> last known bucket
+	// prevLen is len(counts) after the previous superstep-1, so the global
+	// live-entry total (average fanout) can be maintained by the master from
+	// per-query diffs instead of graph passes.
+	prevLen int32
+}
+
+// applyUpdate folds one bucket update into the neighbor data. When touched
+// is non-nil, the pre-update count of every bucket whose count this
+// superstep changes is recorded on first touch, so deltaRecords can diff the
+// net per-bucket changes afterwards.
+func (st *queryState) applyUpdate(mb msgBucket, touched map[int32]int32) {
+	if prev, ok := st.dataBucket[mb.Data]; ok {
+		if touched != nil {
+			if _, seen := touched[prev]; !seen {
+				touched[prev] = st.counts[prev]
+			}
+		}
+		st.counts[prev]--
+		if st.counts[prev] == 0 {
+			delete(st.counts, prev)
+		}
+	}
+	if touched != nil {
+		if _, seen := touched[mb.New]; !seen {
+			touched[mb.New] = st.counts[mb.New]
+		}
+	}
+	st.dataBucket[mb.Data] = mb.New
+	st.counts[mb.New]++
+}
+
+// deltaRecords diffs the touched buckets against the current counts into
+// canonical sorted-by-bucket (query, bucket, cOld, cNew) records, skipping
+// buckets whose net count is unchanged. 0 means "entry absent" on either
+// side.
+func (st *queryState) deltaRecords(touched map[int32]int32) []msgDelta {
+	if len(touched) == 0 {
+		return nil
+	}
+	tl := make([]int32, 0, len(touched))
+	for b := range touched {
+		tl = append(tl, b)
+	}
+	slices.Sort(tl)
+	var recs []msgDelta
+	for _, b := range tl {
+		if cur := st.counts[b]; cur != touched[b] {
+			recs = append(recs, msgDelta{Query: st.q, Bucket: b, COld: touched[b], CNew: cur})
+		}
+	}
+	return recs
 }
 
 // proposalAgg aggregates per-direction gain histograms for the master.
@@ -260,6 +475,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		levels++
 	}
 	numD := g.NumData()
+	numQ := g.NumQueries()
 	maxN := g.MaxQueryDegree()
 
 	// Gain tables per level (lookahead t halves as levels deepen).
@@ -278,18 +494,26 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		iter       int
 		phase      int // which of the 4 supersteps comes next
 		iterations int
+		// rebuildNext schedules a full superstep-1 gain rebroadcast for the
+		// next iteration (sweep fallback / safety net of the incremental
+		// plane).
+		rebuildNext bool
+		// ndEntries is the global live-entry total of the query histograms,
+		// maintained from per-query diffs; /numQ is the average fanout.
+		ndEntries int64
+		history   []IterRecord
 	}
 	sched := &schedule{}
 	idealPerBucket := float64(g.TotalDataWeight()) / float64(opts.K)
 
-	vertices := make([]*pregel.Vertex, 0, numD+g.NumQueries())
+	vertices := make([]*pregel.Vertex, 0, numD+numQ)
 	for d := 0; d < numD; d++ {
 		vertices = append(vertices, &pregel.Vertex{
 			ID:    pregel.VertexID(d),
 			State: &dataState{d: int32(d), bucket: -1, level: -1},
 		})
 	}
-	for q := 0; q < g.NumQueries(); q++ {
+	for q := 0; q < numQ; q++ {
 		vertices = append(vertices, &pregel.Vertex{
 			ID: pregel.VertexID(numD + q),
 			State: &queryState{
@@ -308,7 +532,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		case *dataState:
 			computeData(ctx, g, st, msgs, opts, tables)
 		case *queryState:
-			computeQuery(ctx, g, st, msgs, tables)
+			computeQuery(ctx, g, st, msgs, opts, tables)
 		}
 	}
 
@@ -367,17 +591,35 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 			sched.phase = 3
 			return false, set
 		case 3:
-			// Moves applied; decide whether to advance level.
+			// Moves applied; record the iteration and decide whether to
+			// advance level.
 			moved := int64(0)
 			if v, ok := agg["moved"]; ok {
 				moved = v.(int64)
 			}
 			sched.iterations++
+			sched.history = append(sched.history, IterRecord{
+				Level: sched.level, Iter: sched.iter, Moved: moved,
+				Fanout: float64(sched.ndEntries) / float64(numQ),
+			})
 			sched.iter++
 			frac := float64(moved) / float64(numD)
+			// Schedule the incremental plane's escape hatches for the next
+			// iteration: a sweep fallback when patching would cost more than
+			// a rebroadcast, and a periodic safety-net rebroadcast. Both
+			// regimes produce identical bits, so these are pure perf knobs.
+			if !opts.DisableIncremental {
+				sched.rebuildNext = moved*rebuildFallbackDiv >= int64(numD)
+				if opts.RebuildEvery > 0 && sched.iter%opts.RebuildEvery == 0 {
+					sched.rebuildNext = true
+				}
+			}
 			if sched.iter >= opts.ItersPerLevel || frac < opts.MinMoveFraction {
 				sched.level++
 				sched.iter = 0
+				// Level start re-registers every vertex, which already forces
+				// full gain contributions everywhere.
+				sched.rebuildNext = false
 				if sched.level >= levels {
 					return true, nil
 				}
@@ -387,6 +629,16 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 			set["iter"] = sched.iter
 			return false, set
 		default:
+			if phase == 0 && sched.rebuildNext {
+				// Visible to the queries during the upcoming superstep 1.
+				set["rebuild"] = true
+				sched.rebuildNext = false
+			}
+			if phase == 1 {
+				if v, ok := agg["fanoutDiff"]; ok {
+					sched.ndEntries += v.(int64)
+				}
+			}
 			sched.phase = phase + 1
 			set["level"] = sched.level
 			set["iter"] = sched.iter
@@ -400,9 +652,10 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		Master:        master,
 		MaxSupersteps: maxSupersteps,
 		Aggregators: map[string]pregel.AggregatorDef{
-			"proposals": {New: newProposalAgg},
-			"weights":   {New: newWeightAgg},
-			"moved":     {New: func() pregel.Aggregator { return &pregel.CountAggregator{} }},
+			"proposals":  {New: newProposalAgg},
+			"weights":    {New: newWeightAgg},
+			"moved":      {New: func() pregel.Aggregator { return &pregel.CountAggregator{} }},
+			"fanoutDiff": {New: func() pregel.Aggregator { return &pregel.CountAggregator{} }},
 		},
 		Transport: opts.Transport,
 		Codecs:    newRegistry(),
@@ -433,6 +686,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		K:          opts.K,
 		Levels:     levels,
 		Iterations: sched.iterations,
+		History:    sched.history,
 		Stats:      stats,
 		Elapsed:    elapsed,
 		TotalTime:  elapsed * time.Duration(opts.Workers),
@@ -482,17 +736,38 @@ func computeData(ctx *pregel.Context, g *hypergraph.Bipartite, st *dataState,
 	case 1:
 		// Queries act; data idles.
 	case 2:
-		// Receive the (possibly pre-combined) neighbor-data gain
-		// contributions and propose the Equation 1 gain for moving to the
-		// sibling bucket.
+		// Bring the persistent Equation 1 accumulators up to date and
+		// propose the gain for moving to the sibling bucket. msgGain means
+		// "resum from scratch" (movers and rebroadcast iterations — every
+		// adjacent query sent a contribution); msgDelta patches in place.
+		// The protocol never mixes the two for one vertex in one superstep.
 		tb := tables[level]
 		sumCur, sumOth := 0.0, 0.0
+		gains, deltas := 0, 0
 		for _, m := range msgs {
-			gc := m.(msgGain)
-			sumCur += gc.Cur
-			sumOth += gc.Oth
+			switch x := m.(type) {
+			case msgGain:
+				gains++
+				sumCur += x.Cur
+				sumOth += x.Oth
+			case msgDelta:
+				deltas++
+				st.applyDelta(tb, x)
+			case msgDeltaBatch:
+				deltas++
+				for _, r := range x {
+					st.applyDelta(tb, r)
+				}
+			}
 		}
-		st.gain = tb.Mult() * (sumCur - sumOth)
+		if gains > 0 {
+			if deltas > 0 {
+				panic(fmt.Sprintf("distshp: vertex %d received %d gain and %d delta messages in one superstep",
+					st.d, gains, deltas))
+			}
+			st.sumCur, st.sumOth = sumCur, sumOth
+		}
+		st.gain = tb.Mult() * (st.sumCur - st.sumOth)
 		ctx.Aggregate("proposals", proposal{key: directionKey(st.bucket), gain: st.gain})
 		ctx.Aggregate("weights", bucketWeight{bucket: st.bucket, weight: int64(g.DataWeight(st.d))})
 	case 3:
@@ -527,11 +802,17 @@ func directionKey(bucket int32) uint64 {
 
 // computeQuery is the query-vertex program: maintain neighbor data
 // incrementally (superstep 0's messages, possibly batched by the sender-side
-// combiner) and distribute each adjacent data vertex's gain contribution —
-// its sibling pair's counts mapped through the level's gain table, the
-// combinable form of the paper's r = 2 neighbor-data reduction (superstep 1).
+// combiner) and, in superstep 1, bring each member's gain state up to date.
+//
+// On the incremental plane a dirty query sends a full msgGain contribution
+// to each member that moved (it is rebuilding) and canonical (bucket, cOld,
+// cNew) delta records to each clean member whose sibling pair contains a
+// changed bucket; clean queries send nothing. With the plane disabled — or
+// on a master-scheduled rebroadcast iteration — every query sends every
+// member its full contribution, exactly the paper's per-iteration r = 2
+// neighbor-data reduction.
 func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState,
-	msgs []pregel.Message, tables []core.GainTables) {
+	msgs []pregel.Message, opts Options, tables []core.GainTables) {
 
 	phase := ctx.Superstep() % 4
 	level := 0
@@ -540,21 +821,32 @@ func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState,
 	}
 	switch phase {
 	case 1:
+		full := opts.DisableIncremental
+		if v := ctx.ReadAggregator("rebuild"); v != nil && v.(bool) {
+			full = true
+		}
 		if level != st.level {
-			// Level changed: rebuild from the registration messages.
+			// Level changed: rebuild from the registration messages. Every
+			// data vertex re-registers, so every member counts as a mover
+			// and receives a full contribution below.
 			st.level = level
 			st.counts = map[int32]int32{}
 			st.dataBucket = map[int32]int32{}
 		}
+		// Apply the bucket updates. On the incremental path, track which
+		// members moved and the pre-update count of every touched bucket so
+		// the net per-bucket changes can be diffed out afterwards.
+		var movers map[int32]bool
+		var touched map[int32]int32
 		apply := func(mb msgBucket) {
-			if prev, ok := st.dataBucket[mb.Data]; ok {
-				st.counts[prev]--
-				if st.counts[prev] == 0 {
-					delete(st.counts, prev)
-				}
+			if !full && movers == nil {
+				movers = make(map[int32]bool)
+				touched = make(map[int32]int32)
 			}
-			st.dataBucket[mb.Data] = mb.New
-			st.counts[mb.New]++
+			if movers != nil {
+				movers[mb.Data] = true
+			}
+			st.applyUpdate(mb, touched)
 		}
 		for _, m := range msgs {
 			switch mb := m.(type) {
@@ -566,16 +858,46 @@ func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState,
 				}
 			}
 		}
-		// Send each adjacent data vertex its gain contribution. Iterating
-		// adjacency (not the dataBucket map) keeps send order — and with it
-		// uncombined floating-point summation order — deterministic.
+		// Fanout bookkeeping: hand the master the live-entry diff so it can
+		// maintain the global average fanout without graph passes. Identical
+		// on every path (count maintenance does not depend on the plane).
+		if n := int32(len(st.counts)); n != st.prevLen {
+			ctx.Aggregate("fanoutDiff", int64(n-st.prevLen))
+			st.prevLen = n
+		}
+		// Send each member its gain-state update. Iterating adjacency (not
+		// the dataBucket map) keeps send order — and with it uncombined
+		// floating-point summation order — deterministic; grid-exact sums
+		// make the order irrelevant to the result either way.
 		tb := tables[level]
+		if full {
+			for _, d := range g.QueryNeighbors(st.q) {
+				b, ok := st.dataBucket[d]
+				if !ok {
+					continue
+				}
+				ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[st.counts[b]-1], Oth: tb.T[st.counts[b^1]]})
+			}
+			return
+		}
+		if movers == nil {
+			return // clean query: members' accumulators are already exact
+		}
+		recs := st.deltaRecords(touched)
 		for _, d := range g.QueryNeighbors(st.q) {
 			b, ok := st.dataBucket[d]
 			if !ok {
 				continue
 			}
-			ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[st.counts[b]-1], Oth: tb.T[st.counts[b^1]]})
+			if movers[d] {
+				ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[st.counts[b]-1], Oth: tb.T[st.counts[b^1]]})
+				continue
+			}
+			for _, r := range recs {
+				if r.Bucket == b || r.Bucket == b^1 {
+					ctx.Send(pregel.VertexID(int(d)), r)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package distshp
+
+// Fuzzers for the delta-message wire codecs: whatever bytes arrive, Decode
+// must either reject the frame (truncation) or produce a value that
+// round-trips stably through Append/Size. `go test` runs the seed corpus,
+// so these double as regression tests in CI.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzDeltaCodec(f *testing.F) {
+	f.Add(appendDelta(nil, msgDelta{Query: 1, Bucket: 2, COld: 3, CNew: 4}))
+	f.Add(appendDelta(nil, msgDelta{Query: -1, Bucket: 0, COld: 0, CNew: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, used, err := (deltaCodec{}).Decode(data)
+		if err != nil {
+			if len(data) >= deltaWireSize {
+				t.Fatalf("rejected a full-size frame: %v", err)
+			}
+			return
+		}
+		if len(data) < deltaWireSize {
+			t.Fatalf("accepted a truncated frame of %d bytes", len(data))
+		}
+		if used != deltaWireSize {
+			t.Fatalf("consumed %d bytes, want %d", used, deltaWireSize)
+		}
+		// The fixed little-endian encoding is canonical: re-encoding the
+		// decoded record must reproduce the consumed bytes exactly.
+		re, err := (deltaCodec{}).Append(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, data[:used]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:used])
+		}
+		if (deltaCodec{}).Size(m) != len(re) {
+			t.Fatalf("Size %d != encoded %d", (deltaCodec{}).Size(m), len(re))
+		}
+	})
+}
+
+func FuzzDeltaBatchCodec(f *testing.F) {
+	one, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{{Query: 1, Bucket: 2, COld: 0, CNew: 1}})
+	three, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{
+		{Query: 1, Bucket: 2, COld: 3, CNew: 4},
+		{Query: 1, Bucket: 3, COld: 1, CNew: 0},
+		{Query: 7, Bucket: 0, COld: 0, CNew: 9},
+	})
+	empty, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{})
+	f.Add(one)
+	f.Add(three)
+	f.Add(empty)
+	f.Add(one[:len(one)-1])                                       // truncated last record
+	f.Add([]byte{200})                                            // truncated uvarint count
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 1}) // absurd count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, used, err := (deltaBatchCodec{}).Decode(data)
+		if err != nil {
+			return // rejected; nothing to check beyond not panicking
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		batch := m.(msgDeltaBatch)
+		// Value round trip: the count uvarint may arrive in a non-canonical
+		// overlong form, so compare decoded values, not raw bytes.
+		re, err := (deltaBatchCodec{}).Append(nil, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (deltaBatchCodec{}).Size(batch) != len(re) {
+			t.Fatalf("Size %d != encoded %d", (deltaBatchCodec{}).Size(batch), len(re))
+		}
+		m2, used2, err := (deltaBatchCodec{}).Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if used2 != len(re) || !reflect.DeepEqual(m2, m) {
+			t.Fatalf("unstable round trip: %+v vs %+v", m2, m)
+		}
+	})
+}

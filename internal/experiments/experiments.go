@@ -65,6 +65,7 @@ var Registry = []Experiment{
 	{"fig7", "Figure 7: convergence of p=0.5 vs p=1.0 (fanout, moved vertices)", RunFig7},
 	{"fig8", "Figure 8: p=0.5 vs direct fanout (a) and clique-net (b) objectives", RunFig8},
 	{"ablate-inc", "Ablation: incremental refinement engine vs full per-iteration rebuilds", RunAblateIncremental},
+	{"dist-delta", "Distributed delta plane: churn-proportional superstep traffic vs full rebroadcast", RunDistDelta},
 }
 
 // ByID returns the experiment with the given id.

@@ -18,7 +18,7 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig4a", "fig4b", "table2", "table3",
-		"fig5a", "fig5b", "fig6", "fig7", "fig8", "ablate-inc"}
+		"fig5a", "fig5b", "fig6", "fig7", "fig8", "ablate-inc", "dist-delta"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(Registry), len(want))
 	}
@@ -197,6 +197,15 @@ func TestAblateIncQuick(t *testing.T) {
 	for _, want := range []string{"SHP-2", "SHP-k", "speedup", "fanout"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablate-inc missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDistDeltaQuick(t *testing.T) {
+	out := runExperiment(t, "dist-delta")
+	for _, want := range []string{"delta", "full", "late KB/superstep", "reduced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dist-delta missing %q:\n%s", want, out)
 		}
 	}
 }

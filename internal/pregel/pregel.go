@@ -144,6 +144,36 @@ type Stats struct {
 	PerSuperstep   []SuperstepStats
 }
 
+// PhaseTotals attributes the run's traffic to protocol phases for
+// computations whose supersteps cycle through a fixed period (superstep s
+// plays phase s % period): entry p sums MessagesSent, RemoteMessages, and
+// BytesSent over the supersteps of phase p, with Superstep holding the phase
+// index and ActiveVertices/MaxWorkerActive the phase's maxima. distshp's
+// 4-superstep refinement loop uses this to report what each protocol role
+// (bucket updates, gain/delta plane, proposals, moves) costs on the wire.
+func (s *Stats) PhaseTotals(period int) []SuperstepStats {
+	if period <= 0 {
+		return nil
+	}
+	totals := make([]SuperstepStats, period)
+	for p := range totals {
+		totals[p].Superstep = p
+	}
+	for _, ss := range s.PerSuperstep {
+		t := &totals[ss.Superstep%period]
+		t.MessagesSent += ss.MessagesSent
+		t.RemoteMessages += ss.RemoteMessages
+		t.BytesSent += ss.BytesSent
+		if ss.ActiveVertices > t.ActiveVertices {
+			t.ActiveVertices = ss.ActiveVertices
+		}
+		if ss.MaxWorkerActive > t.MaxWorkerActive {
+			t.MaxWorkerActive = ss.MaxWorkerActive
+		}
+	}
+	return totals
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Workers is the number of simulated machines. <= 0 means 1.
@@ -169,7 +199,10 @@ type Options struct {
 	// Combiner, if set, merges messages destined to the same vertex. It is
 	// applied in the sender's outbox (reducing transport traffic) and again
 	// at the receiver across source workers. It must be commutative and
-	// associative.
+	// associative, and it must accept every pair of message kinds the
+	// computation can address to one vertex within one superstep (protocols
+	// that keep per-destination traffic kind-homogeneous, like distshp's,
+	// may legitimately panic on cross-kind pairs to surface violations).
 	Combiner func(a, b Message) Message
 }
 

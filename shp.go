@@ -243,6 +243,12 @@ type DistributedOptions = distshp.Options
 // statistics (per-superstep message and byte counts).
 type DistributedResult = distshp.Result
 
+// DistributedIterRecord is one refinement iteration's entry in a
+// DistributedResult's History: level, moved count, and the fanout the
+// master maintained from per-query live-entry diffs. Iteration j occupies
+// supersteps 4j..4j+3 of Stats.PerSuperstep.
+type DistributedIterRecord = distshp.IterRecord
+
 // PartitionDistributed runs SHP-2 through the vertex-centric BSP engine
 // (the paper's Giraph implementation, Figure 3): four supersteps per
 // refinement iteration, master-side histogram pairing, and incremental
