@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hgen -kind powerlaw -q 10000 -d 20000 -e 100000 -out g.hgr
+//	hgen -kind hub -q 10000 -d 20000 -e 100000 -hubfrac 0.005 -hubdeg 5000 -out g.hgr
 //	hgen -kind social -n 10000 -deg 20 -community 100 -out g.hgr
 //	hgen -kind planted -k 8 -pergroup 1000 -q 20000 -deg 6 -out g.hgr
 //
@@ -33,14 +34,16 @@ func main() {
 
 func run() error {
 	var (
-		kind      = flag.String("kind", "powerlaw", "generator: powerlaw, social, or planted")
+		kind      = flag.String("kind", "powerlaw", "generator: powerlaw, hub, social, or planted")
 		outPath   = flag.String("out", "", "output file (default stdout)")
 		format    = flag.String("format", "hmetis", "output format: hmetis or edgelist")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		q         = flag.Int("q", 10000, "powerlaw/planted: number of queries (hyperedges)")
 		d         = flag.Int("d", 20000, "powerlaw: number of data vertices")
 		e         = flag.Int64("e", 100000, "powerlaw: target incidence count")
-		exponent  = flag.Float64("exponent", 2.1, "powerlaw: degree exponent")
+		exponent  = flag.Float64("exponent", 2.1, "powerlaw/hub: degree exponent")
+		hubFrac   = flag.Float64("hubfrac", 0.005, "hub: fraction of queries pinned at the hub degree")
+		hubDeg    = flag.Int("hubdeg", 0, "hub: exact degree of hub queries (0 = numD/4)")
 		n         = flag.Int("n", 10000, "social: number of users")
 		deg       = flag.Int("deg", 20, "social: average friend count; planted: hyperedge size")
 		community = flag.Int("community", 100, "social: community size")
@@ -59,6 +62,8 @@ func run() error {
 	switch *kind {
 	case "powerlaw":
 		g, err = shp.GeneratePowerLawBipartite(*q, *d, *e, *exponent, *seed)
+	case "hub":
+		g, err = shp.GenerateHubPowerLawBipartite(*q, *d, *e, *exponent, *hubFrac, *hubDeg, *seed)
 	case "social":
 		g, err = shp.GenerateSocialEgoNets(*n, *deg, *community, *intra, *seed)
 	case "planted":

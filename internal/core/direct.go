@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"slices"
 
 	"shp/internal/hypergraph"
@@ -71,16 +70,10 @@ type directState struct {
 	// during recursive r-way splits; uniform t=1 in plain direct mode).
 	tables []GainTables
 
-	// Sparse neighbor data over queries, stored as a fixed-capacity CSR so
-	// entries can be inserted and removed in place: query q owns the segment
-	// [ndOff[q], ndOff[q+1]) with capacity min(deg(q), k), of which the
-	// first ndLen[q] slots are live. Entries are kept sorted by bucket id —
-	// the canonical order both the full rebuild and the incremental
-	// maintenance produce, so the two paths are interchangeable bit for bit.
-	ndOff     []int64
-	ndLen     []int32
-	ndEnt     []ndEntry
-	ndEntries int64 // total live entries (= summed fanout)
+	// Sparse neighbor data over queries: the shared kernel's fixed-capacity
+	// sorted CSR (see ndstate.go), which also owns the dirty-query diff
+	// machinery the patch path feeds on.
+	nd *ndState
 
 	// Per-vertex Equation 1 state: cand[v] holds the candidate buckets of v
 	// in ascending bucket order with their exact acc sums and contributing-
@@ -96,15 +89,12 @@ type directState struct {
 	// Incremental-engine state (nil/unused when Options.DisableIncremental):
 	// active holds each vertex's pending work — activeRebuild for movers
 	// (and everyone after a fallback sweep or safety-net rebuild),
-	// activeSelect for vertices whose accumulators were patched; dirtyFlag
-	// dedups dirty queries during delta application; delta holds the
-	// per-owner scratch of applyNDDeltas. admiss/prevAdmiss track the
-	// per-bucket balance-admissibility vector between iterations: on
-	// unit-weight graphs an untouched vertex under an unchanged vector
-	// would reproduce its previous argmax exactly, so selection is skipped.
+	// activeSelect for vertices whose accumulators were patched.
+	// admiss/prevAdmiss track the per-bucket balance-admissibility vector
+	// between iterations: on unit-weight graphs an untouched vertex under
+	// an unchanged vector would reproduce its previous argmax exactly, so
+	// selection is skipped.
 	active     []uint8
-	dirtyFlag  []uint8
-	delta      []deltaScratch
 	admiss     []bool
 	prevAdmiss []bool
 	admissSame bool
@@ -136,17 +126,7 @@ type directState struct {
 	pairMerge *pairAcc
 	probTabs  []ProbTable
 
-	// ndUpdates is the reused [source][owner] routing buffer of applyNDDeltas.
-	ndUpdates [][][]ndUpdate
-
 	history []IterStats
-}
-
-// ndEntry is one live neighbor-data slot: bucket b holds c of the owning
-// query's data vertices. Interleaving bucket and count keeps the Equation 1
-// sweep on a single memory stream.
-type ndEntry struct {
-	b, c int32
 }
 
 // proposalCand is one candidate bucket of a data vertex: refs adjacent
@@ -159,46 +139,12 @@ type proposalCand struct {
 	acc  float64
 }
 
-// ndUpdate routes one neighbor-data count transfer to a query's owner.
-type ndUpdate struct{ q, from, to int32 }
-
-// ndChange is one changed neighbor-data entry of a dirty query: bucket b's
-// count went from cOld to cNew (0 = entry absent).
-type ndChange struct {
-	b          int32
-	cOld, cNew int32
-}
-
-// changeGroup addresses the contiguous ndChange records of one dirty query.
-type changeGroup struct {
-	q      int32
-	off, n int32
-}
-
-// Pending-work levels in directState.active.
+// Pending-work levels in the refiners' active vectors (directState.active
+// and bisection.active share the scheme).
 const (
-	activeSelect  = 1 // accumulators patched: re-run selection only
+	activeSelect  = 1 // accumulators patched: re-derive the gain/argmax only
 	activeRebuild = 2 // bucket changed (or full sweep): rebuild state
 )
-
-// deltaScratch is one owner-worker's reusable applyNDDeltas state.
-type deltaScratch struct {
-	snapArena []ndEntry // pre-batch segment snapshots, concatenated
-	snapOff   []int32   // snapshot offsets per dirty query (+ sentinel)
-	dirtyQ    []int32   // dirty queries in first-touch order
-	recs      []ndChange
-	groups    []changeGroup
-	entryDiff int64
-}
-
-func (ds *deltaScratch) reset() {
-	ds.snapArena = ds.snapArena[:0]
-	ds.snapOff = ds.snapOff[:0]
-	ds.dirtyQ = ds.dirtyQ[:0]
-	ds.recs = ds.recs[:0]
-	ds.groups = ds.groups[:0]
-	ds.entryDiff = 0
-}
 
 // sweepFallbackDiv sets the deterministic patch-vs-sweep switch: when a
 // batch moves more than NumData/sweepFallbackDiv vertices, patching members
@@ -323,18 +269,7 @@ func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []
 	st.propBase = make([]float64, nd)
 	st.wdegArr = make([]float64, nd)
 
-	// Fixed-capacity CSR: a query with degree d can touch at most
-	// min(d, k) distinct buckets, so its segment never overflows.
-	st.ndOff = make([]int64, nq+1)
-	for q := 0; q < nq; q++ {
-		c := g.QueryDegree(int32(q))
-		if c > k {
-			c = k
-		}
-		st.ndOff[q+1] = st.ndOff[q] + int64(c)
-	}
-	st.ndLen = make([]int32, nq)
-	st.ndEnt = make([]ndEntry, st.ndOff[nq])
+	st.nd = newNDState(g, k, st.workers, !opts.DisableIncremental)
 	if g.QueryWeighted() {
 		st.qw = make([]float64, nq)
 		for q := range st.qw {
@@ -357,8 +292,6 @@ func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []
 
 	if !opts.DisableIncremental {
 		st.active = make([]uint8, nd)
-		st.dirtyFlag = make([]uint8, nq)
-		st.delta = make([]deltaScratch, st.workers)
 		st.markAllActive() // fresh state: everything needs evaluation
 	}
 
@@ -447,46 +380,9 @@ func (st *directState) repairBalance(onMove func(v, from, to int32)) {
 }
 
 // buildNeighborData recomputes the sparse per-query bucket counts from
-// scratch (supersteps 1–2 of Figure 3). Entries land in canonical
-// sorted-by-bucket order, matching what incremental maintenance preserves.
-// Offsets are fixed capacities, so one parallel pass suffices.
+// scratch (supersteps 1–2 of Figure 3) via the shared kernel.
 func (st *directState) buildNeighborData() {
-	nq := st.g.NumQueries()
-	scratch := make([][]int32, st.workers)
-	touched := make([][]int32, st.workers)
-	for w := range scratch {
-		scratch[w] = make([]int32, st.k)
-		touched[w] = make([]int32, 0, 64)
-	}
-	par.ForWorker(nq, st.workers, func(w, start, end int) {
-		cnt := scratch[w]
-		for q := start; q < end; q++ {
-			tl := touched[w][:0]
-			for _, d := range st.g.QueryNeighbors(int32(q)) {
-				b := st.bucket[d]
-				if cnt[b] == 0 {
-					tl = append(tl, b)
-				}
-				cnt[b]++
-			}
-			slices.Sort(tl)
-			pos := st.ndOff[q]
-			for _, b := range tl {
-				st.ndEnt[pos] = ndEntry{b: b, c: cnt[b]}
-				cnt[b] = 0
-				pos++
-			}
-			st.ndLen[q] = int32(len(tl))
-			touched[w] = tl[:0]
-		}
-	})
-	st.ndEntries = par.SumInt64(nq, st.workers, func(start, end int) int64 {
-		var sum int64
-		for q := start; q < end; q++ {
-			sum += int64(st.ndLen[q])
-		}
-		return sum
-	})
+	ndBuild(st.nd, st.g, st.workers, st.k, st.bucket)
 }
 
 // objectiveFromND sums the objective over the current neighbor data.
@@ -496,8 +392,8 @@ func (st *directState) objectiveFromND() float64 {
 		sum := 0.0
 		for q := start; q < end; q++ {
 			wq := float64(st.g.QueryWeight(int32(q)))
-			for _, e := range st.ndEnt[st.ndOff[q] : st.ndOff[q]+int64(st.ndLen[q])] {
-				sum += wq * st.tables[e.b].C[e.c]
+			for _, e := range st.nd.seg(int32(q)) {
+				sum += wq * st.tables[e.B].C[e.C]
 			}
 		}
 		return sum
@@ -510,7 +406,7 @@ func (st *directState) fanoutFromND() float64 {
 	if nq == 0 {
 		return 0
 	}
-	return float64(st.ndEntries) / float64(nq)
+	return float64(st.nd.entries) / float64(nq)
 }
 
 // proposalScratch is the per-worker state of one Equation 1 rebuild sweep.
@@ -545,44 +441,48 @@ func (st *directState) rebuildVertex(s *proposalScratch, v int) {
 	genC := s.genC
 	s.tl = s.tl[:0]
 	base := 0.0
+	// Hoist the kernel CSR's arrays: the per-entry loops below are the
+	// engine's hottest memory stream, and going through st.nd on every
+	// access costs a dependent load per entry.
+	ndOff, ndLen, ndEnt := st.nd.off, st.nd.len, st.nd.ent
 	switch T := st.uniformT; {
 	case T != nil && st.qw == nil:
 		t0 := T[0]
 		for _, q := range st.g.DataNeighbors(int32(v)) {
-			off := st.ndOff[q]
-			for _, e := range st.ndEnt[off : off+int64(st.ndLen[q])] {
-				if e.b == cur {
-					base += T[e.c-1]
+			off := ndOff[q]
+			for _, e := range ndEnt[off : off+int64(ndLen[q])] {
+				if e.B == cur {
+					base += T[e.C-1]
 					continue
 				}
-				if s.gen[e.b] != genC {
-					s.gen[e.b] = genC
-					s.acc[e.b] = 0
-					s.refs[e.b] = 0
-					s.tl = append(s.tl, e.b)
+				if s.gen[e.B] != genC {
+					s.gen[e.B] = genC
+					s.acc[e.B] = 0
+					s.refs[e.B] = 0
+					s.tl = append(s.tl, e.B)
 				}
-				s.acc[e.b] += T[e.c] - t0
-				s.refs[e.b]++
+				s.acc[e.B] += T[e.C] - t0
+				s.refs[e.B]++
 			}
 		}
 	case T != nil:
 		t0 := T[0]
 		for _, q := range st.g.DataNeighbors(int32(v)) {
 			wq := st.qw[q]
-			off := st.ndOff[q]
-			for _, e := range st.ndEnt[off : off+int64(st.ndLen[q])] {
-				if e.b == cur {
-					base += wq * T[e.c-1]
+			off := ndOff[q]
+			for _, e := range ndEnt[off : off+int64(ndLen[q])] {
+				if e.B == cur {
+					base += wq * T[e.C-1]
 					continue
 				}
-				if s.gen[e.b] != genC {
-					s.gen[e.b] = genC
-					s.acc[e.b] = 0
-					s.refs[e.b] = 0
-					s.tl = append(s.tl, e.b)
+				if s.gen[e.B] != genC {
+					s.gen[e.B] = genC
+					s.acc[e.B] = 0
+					s.refs[e.B] = 0
+					s.tl = append(s.tl, e.B)
 				}
-				s.acc[e.b] += wq * (T[e.c] - t0)
-				s.refs[e.b]++
+				s.acc[e.B] += wq * (T[e.C] - t0)
+				s.refs[e.B]++
 			}
 		}
 	default:
@@ -592,20 +492,20 @@ func (st *directState) rebuildVertex(s *proposalScratch, v int) {
 			if st.qw != nil {
 				wq = st.qw[q]
 			}
-			off := st.ndOff[q]
-			for _, e := range st.ndEnt[off : off+int64(st.ndLen[q])] {
-				if e.b == cur {
-					base += wq * tCur.T[e.c-1]
+			off := ndOff[q]
+			for _, e := range ndEnt[off : off+int64(ndLen[q])] {
+				if e.B == cur {
+					base += wq * tCur.T[e.C-1]
 					continue
 				}
-				if s.gen[e.b] != genC {
-					s.gen[e.b] = genC
-					s.acc[e.b] = 0
-					s.refs[e.b] = 0
-					s.tl = append(s.tl, e.b)
+				if s.gen[e.B] != genC {
+					s.gen[e.B] = genC
+					s.acc[e.B] = 0
+					s.refs[e.B] = 0
+					s.tl = append(s.tl, e.B)
 				}
-				s.acc[e.b] += wq * (st.tables[e.b].T[e.c] - st.tables[e.b].T[0])
-				s.refs[e.b]++
+				s.acc[e.B] += wq * (st.tables[e.B].T[e.C] - st.tables[e.B].T[0])
+				s.refs[e.B]++
 			}
 		}
 	}
@@ -766,13 +666,6 @@ func (st *directState) markAllActive() {
 // pairKey packs an ordered (from, to) bucket pair.
 func pairKey(from, to int32) uint64 {
 	return uint64(uint32(from))<<32 | uint64(uint32(to))
-}
-
-// move records one applied relocation (the destination is the vertex's
-// current bucket).
-type move struct {
-	v    int32
-	from int32
 }
 
 // matchDense aggregates the proposals into per-direction gain histograms and
@@ -1033,99 +926,24 @@ func (st *directState) applyMoves(iter int) []move {
 	return accepted
 }
 
-// applyNDDeltas patches the neighbor data in place for the queries adjacent
-// to the accepted moves (decrement the origin's count, increment the
-// target's, inserting/removing sparse entries as they cross zero), then
-// reconciles the per-vertex proposal state: either by patching the members
-// of each dirty query with the query's exact entry deltas (small batches),
-// or by scheduling a full rebuild sweep (large batches). Movers themselves
-// are always rebuilt — their own bucket changed, which reshapes base/acc.
-// Updates are routed to a per-worker query range, so each query is patched
-// by exactly one goroutine; member patches run over disjoint vertex ranges
-// using the sorted member lists. All patch arithmetic is exact, so results
-// are independent of worker count and of the patch-vs-sweep choice.
-// accepted must contain each vertex at most once (one move batch), with
-// st.bucket already holding the destination.
+// applyNDDeltas runs the kernel's move-batch pass (count transfers plus
+// dirty-query diff collection), then reconciles the per-vertex proposal
+// state: either by patching the members of each dirty query with the
+// query's exact entry deltas (small batches), or by scheduling a full
+// rebuild sweep (large batches). Movers themselves are always rebuilt —
+// their own bucket changed, which reshapes base/acc. Member patches run
+// over disjoint vertex ranges using the sorted member lists; all patch
+// arithmetic is exact, so results are independent of worker count and of
+// the patch-vs-sweep choice. accepted must contain each vertex at most
+// once (one move batch), with st.bucket already holding the destination.
 func (st *directState) applyNDDeltas(accepted []move) {
-	nq := st.g.NumQueries()
 	nd := st.g.NumData()
 	w := st.workers
 	if w < 1 {
 		w = 1
 	}
-	chunk := (nq + w - 1) / w
-	if chunk == 0 {
-		chunk = 1
-	}
 	patch := len(accepted)*sweepFallbackDiv < nd
-	if st.ndUpdates == nil {
-		st.ndUpdates = make([][][]ndUpdate, w)
-	}
-	outs := st.ndUpdates
-	for sw := range outs {
-		for d := range outs[sw] {
-			outs[sw][d] = outs[sw][d][:0]
-		}
-	}
-	par.ForWorker(len(accepted), w, func(sw, start, end int) {
-		o := outs[sw]
-		if o == nil {
-			o = make([][]ndUpdate, w)
-			outs[sw] = o
-		}
-		for i := start; i < end; i++ {
-			m := accepted[i]
-			to := st.bucket[m.v]
-			for _, q := range st.g.DataNeighbors(m.v) {
-				dw := int(q) / chunk
-				o[dw] = append(o[dw], ndUpdate{q: q, from: m.from, to: to})
-			}
-		}
-	})
-
-	// Phase A (parallel by query owner): apply the ±1 count transfers,
-	// snapshotting each dirty query's pre-batch segment on first touch so
-	// the net per-entry changes can be diffed out afterwards.
-	par.Each(w, func(dw int) {
-		ds := &st.delta[dw]
-		ds.reset()
-		for sw := 0; sw < w; sw++ {
-			if outs[sw] == nil {
-				continue
-			}
-			for _, u := range outs[sw][dw] {
-				if st.dirtyFlag[u.q] == 0 {
-					st.dirtyFlag[u.q] = 1
-					ds.dirtyQ = append(ds.dirtyQ, u.q)
-					if patch {
-						ds.snapOff = append(ds.snapOff, int32(len(ds.snapArena)))
-						off := st.ndOff[u.q]
-						ds.snapArena = append(ds.snapArena, st.ndEnt[off:off+int64(st.ndLen[u.q])]...)
-					}
-				}
-				ds.entryDiff += st.applyEntryDelta(u.q, u.from, u.to)
-			}
-		}
-		if patch {
-			ds.snapOff = append(ds.snapOff, int32(len(ds.snapArena)))
-			for i, q := range ds.dirtyQ {
-				old := ds.snapArena[ds.snapOff[i]:ds.snapOff[i+1]]
-				off := st.ndOff[q]
-				cur := st.ndEnt[off : off+int64(st.ndLen[q])]
-				start := int32(len(ds.recs))
-				ds.recs = diffSegments(ds.recs, old, cur)
-				if n := int32(len(ds.recs)) - start; n > 0 {
-					ds.groups = append(ds.groups, changeGroup{q: q, off: start, n: n})
-				}
-			}
-		}
-		for _, q := range ds.dirtyQ {
-			st.dirtyFlag[q] = 0
-		}
-	})
-	for i := range st.delta {
-		st.ndEntries += st.delta[i].entryDiff
-	}
+	ndApplyMoveBatch(st.nd, st.g, w, accepted, st.bucket, patch)
 
 	for i := range st.active {
 		st.active[i] = 0
@@ -1134,15 +952,14 @@ func (st *directState) applyNDDeltas(accepted []move) {
 		st.markAllActive()
 		return
 	}
-	// Phase B (parallel by vertex range): fold each dirty query's entry
-	// deltas into its members' accumulators. Member lists are sorted, so
-	// each worker binary-searches its slice of every group; exact
-	// arithmetic makes the patch order (and the range partition)
-	// irrelevant to the result.
+	// Parallel by vertex range: fold each dirty query's entry deltas into
+	// its members' accumulators. Member lists are sorted, so each worker
+	// binary-searches its slice of every group; exact arithmetic makes the
+	// patch order (and the range partition) irrelevant to the result.
 	par.ForWorker(nd, w, func(_, vs, ve int) {
 		lo32, hi32 := int32(vs), int32(ve)
-		for dw := range st.delta {
-			ds := &st.delta[dw]
+		for dw := range st.nd.delta {
+			ds := &st.nd.delta[dw]
 			for _, grp := range ds.groups {
 				members := st.g.QueryNeighbors(grp.q)
 				i := lowerBound(members, lo32)
@@ -1169,43 +986,6 @@ func (st *directState) applyNDDeltas(accepted []move) {
 	}
 }
 
-// lowerBound returns the index of the first element of sorted that is >= x.
-func lowerBound(sorted []int32, x int32) int {
-	i, j := 0, len(sorted)
-	for i < j {
-		h := (i + j) / 2
-		if sorted[h] < x {
-			i = h + 1
-		} else {
-			j = h
-		}
-	}
-	return i
-}
-
-// diffSegments appends the (bucket, oldCount, newCount) records for the
-// entries that differ between two sorted segments.
-func diffSegments(recs []ndChange, old, cur []ndEntry) []ndChange {
-	i, j := 0, 0
-	for i < len(old) || j < len(cur) {
-		switch {
-		case j >= len(cur) || (i < len(old) && old[i].b < cur[j].b):
-			recs = append(recs, ndChange{b: old[i].b, cOld: old[i].c})
-			i++
-		case i >= len(old) || cur[j].b < old[i].b:
-			recs = append(recs, ndChange{b: cur[j].b, cNew: cur[j].c})
-			j++
-		default:
-			if old[i].c != cur[j].c {
-				recs = append(recs, ndChange{b: old[i].b, cOld: old[i].c, cNew: cur[j].c})
-			}
-			i++
-			j++
-		}
-	}
-	return recs
-}
-
 // patchVertex folds one dirty query's entry deltas into vertex v's cached
 // Equation 1 state. For v's own bucket the base term is adjusted; for any
 // other bucket the candidate accumulator is adjusted, inserting or removing
@@ -1214,30 +994,30 @@ func diffSegments(recs []ndChange, old, cur []ndEntry) []ndChange {
 // all deltas without per-record searches. Movers may be patched against
 // their post-move bucket, leaving garbage — harmless, as movers are fully
 // rebuilt before the next selection.
-func (st *directState) patchVertex(v int32, wq float64, recs []ndChange) {
+func (st *directState) patchVertex(v int32, wq float64, recs []NDChange) {
 	cur := st.bucket[v]
 	cands := st.cand[v]
 	ci := 0
 	for _, r := range recs {
-		if r.b == cur {
-			st.propBase[v] += wq * st.tables[cur].DeltaOwn(r.cOld, r.cNew)
+		if r.B == cur {
+			st.propBase[v] += wq * st.tables[cur].DeltaOwn(r.COld, r.CNew)
 			continue
 		}
 		// DeltaAway is the exact candidate-accumulator change: the candidate
 		// terms are T[c]−T[0] (0 when absent), and the T[0]s cancel in the
 		// difference.
-		dAcc := st.tables[r.b].DeltaAway(r.cOld, r.cNew)
+		dAcc := st.tables[r.B].DeltaAway(r.COld, r.CNew)
 		var dref int32
-		if r.cOld == 0 {
+		if r.COld == 0 {
 			dref++
 		}
-		if r.cNew == 0 {
+		if r.CNew == 0 {
 			dref--
 		}
-		for ci < len(cands) && cands[ci].b < r.b {
+		for ci < len(cands) && cands[ci].b < r.B {
 			ci++
 		}
-		if ci < len(cands) && cands[ci].b == r.b {
+		if ci < len(cands) && cands[ci].b == r.B {
 			cands[ci].refs += dref
 			if cands[ci].refs <= 0 {
 				cands = append(cands[:ci], cands[ci+1:]...)
@@ -1248,50 +1028,10 @@ func (st *directState) patchVertex(v int32, wq float64, recs []ndChange) {
 		}
 		cands = append(cands, proposalCand{})
 		copy(cands[ci+1:], cands[ci:])
-		cands[ci] = proposalCand{b: r.b, refs: dref, acc: wq * dAcc}
+		cands[ci] = proposalCand{b: r.B, refs: dref, acc: wq * dAcc}
 		ci++
 	}
 	st.cand[v] = cands
-}
-
-// applyEntryDelta moves one unit of query q's neighbor count from bucket
-// `from` to bucket `to`, preserving sorted order, and returns the live-entry
-// delta (-1, 0, or +1).
-func (st *directState) applyEntryDelta(q, from, to int32) int64 {
-	off := st.ndOff[q]
-	n := int64(st.ndLen[q])
-	var delta int64
-	i := off
-	for ; i < off+n; i++ {
-		if st.ndEnt[i].b == from {
-			break
-		}
-	}
-	if i == off+n {
-		panic(fmt.Sprintf("core: neighbor data for query %d lost bucket %d", q, from))
-	}
-	st.ndEnt[i].c--
-	if st.ndEnt[i].c == 0 {
-		copy(st.ndEnt[i:off+n-1], st.ndEnt[i+1:off+n])
-		n--
-		delta--
-	}
-	j := off
-	for ; j < off+n; j++ {
-		if st.ndEnt[j].b >= to {
-			break
-		}
-	}
-	if j < off+n && st.ndEnt[j].b == to {
-		st.ndEnt[j].c++
-	} else {
-		copy(st.ndEnt[j+1:off+n+1], st.ndEnt[j:off+n])
-		st.ndEnt[j] = ndEntry{b: to, c: 1}
-		n++
-		delta++
-	}
-	st.ndLen[q] = int32(n)
-	return delta
 }
 
 // run builds the neighbor data from scratch and iterates refinement to

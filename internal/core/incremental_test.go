@@ -189,16 +189,14 @@ type ndSnapshot struct {
 
 func snapshotND(st *directState) ndSnapshot {
 	s := ndSnapshot{
-		len:     append([]int32(nil), st.ndLen...),
-		entries: st.ndEntries,
+		len:     append([]int32(nil), st.nd.len...),
+		entries: st.nd.entries,
 	}
 	nq := st.g.NumQueries()
 	for q := 0; q < nq; q++ {
-		off := st.ndOff[q]
-		n := int64(st.ndLen[q])
-		for _, e := range st.ndEnt[off : off+n] {
-			s.bucket = append(s.bucket, e.b)
-			s.count = append(s.count, e.c)
+		for _, e := range st.nd.seg(int32(q)) {
+			s.bucket = append(s.bucket, e.B)
+			s.count = append(s.count, e.C)
 		}
 	}
 	return s

@@ -12,6 +12,36 @@ import (
 // bisection is one 2-way refinement subproblem over a compact induced graph.
 // Recursive bisection (SHP-2) builds one of these per recursion node; the
 // two "sides" are the node's two children.
+//
+// # The incremental engine
+//
+// Like the SHP-k refiner (direct.go), the bisection runs on the shared
+// incremental-gain kernel (ndstate.go). Its neighbor data is the two-bucket
+// special case of the kernel's per-query segments — a (c0, c1) pair — so
+// the counts live in two dense arrays rather than a sparse CSR, but
+// everything downstream of a count change is the kernel's machinery:
+//
+//   - Every data vertex carries its Equation 1 state in patchable form:
+//     accOwn = Σ_q wq·T_cur[n_cur(q)−1] and accOth = Σ_q wq·T_oth[n_oth(q)],
+//     from which the gain is mult·(accOwn − accOth) plus the warm-start
+//     penalty.
+//   - After a move batch, each dirty query's canonical (side, cOld, cNew)
+//     changes are derived from the batch's net count deltas (every move is
+//     a ±1 transfer, so cOld is exactly cNew minus the net delta — no
+//     snapshots needed), and folded into the clean members' accumulators
+//     through GainTables.DeltaOwn/DeltaAway. A hub query with one mover
+//     costs two branch-free adds per member instead of each member
+//     re-walking its whole membership, so frontier cost is O(churn).
+//   - Movers are rebuilt (their own side changed, which swaps the meaning
+//     of the two accumulators), and batches that move more than
+//     1/sweepFallbackDiv of the vertices fall back to a full rebuild sweep.
+//     Every Options.NDRebuildEvery iterations a safety-net recount rebuilds
+//     the maintained counts from scratch.
+//
+// All patch arithmetic lives on the shared dyadic grid, so the patched and
+// rebuilt states are bit-identical, and the engine is pinned byte-identical
+// to Options.DisableIncremental (full per-iteration gain recomputation) —
+// the same guarantee the direct engine carries.
 type bisection struct {
 	g    *hypergraph.Bipartite
 	opts Options
@@ -35,19 +65,22 @@ type bisection struct {
 	n    [2][]int32 // per-query neighbor counts per side
 	w    [2]int64   // side weights
 
-	// Incremental-engine state (nil when Options.DisableIncremental): the
-	// side counts above are always maintained in place, so the only
-	// per-iteration full-graph pass left is computeGains. active flags the
-	// vertices whose gains must be recomputed (those adjacent to a query
-	// whose counts changed last iteration); the rest keep their cached
-	// gains, which are bit-identical to a recomputation. dirty marks the
-	// touched queries between the move phase and the frontier refresh
-	// (int32 so the parallel move phase can publish marks atomically).
-	active    []uint8
-	dirty     []int32
-	dirtyList []int32 // scratch: dirty queries collected per refresh
-	lastMoved []int32 // vertices moved this iteration; always re-activated
-	allActive bool
+	// Incremental-engine state (nil when Options.DisableIncremental):
+	// accOwn/accOth are the per-vertex patchable Equation 1 accumulators;
+	// active holds each vertex's pending work (activeRebuild for movers and
+	// full sweeps, activeSelect for patched accumulators); d holds each
+	// dirty query's net per-side count delta for the current batch, dirtyQ
+	// the touched queries in first-touch order (deduped by dirtyFlag);
+	// lastMoved collects the batch's movers; pgs is the reusable buffer the
+	// per-dirty-query patch groups land in.
+	accOwn, accOth []float64
+	active         []uint8
+	d              [2][]int32
+	dirtyFlag      []uint8
+	dirtyQ         []int32
+	lastMoved      []int32
+	pgs            []patchGroup
+	allActive      bool
 
 	targetW [2]float64
 	capW    [2]float64
@@ -58,6 +91,15 @@ type bisection struct {
 	// weighted queries scale their Equation 1 terms and objective
 	// contributions proportionally.
 	qw []float64
+
+	// gainWork counts Equation 1 work units deterministically: one per
+	// table term summed in a gain rebuild, one per delta record folded into
+	// an accumulator. workHist snapshots the running total after every
+	// iteration. Both are pure observability counters (never read by the
+	// algorithm) that let tests pin the engine's churn-proportionality
+	// without timing anything.
+	gainWork int64
+	workHist []int64
 
 	history []IterStats
 }
@@ -85,17 +127,22 @@ func newBisection(g *hypergraph.Bipartite, opts Options, seed uint64, level, tas
 	b.tables[1] = tablesFor(opts, tRight, maxN)
 
 	nd := g.NumData()
+	nq := g.NumQueries()
 	b.side = make([]int8, nd)
 	b.gains = make([]float64, nd)
-	b.n[0] = make([]int32, g.NumQueries())
-	b.n[1] = make([]int32, g.NumQueries())
+	b.n[0] = make([]int32, nq)
+	b.n[1] = make([]int32, nq)
 	if !opts.DisableIncremental {
+		b.accOwn = make([]float64, nd)
+		b.accOth = make([]float64, nd)
 		b.active = make([]uint8, nd)
-		b.dirty = make([]int32, g.NumQueries())
+		b.d[0] = make([]int32, nq)
+		b.d[1] = make([]int32, nq)
+		b.dirtyFlag = make([]uint8, nq)
 		b.allActive = true // fresh state: everything needs evaluation
 	}
 	if g.QueryWeighted() {
-		b.qw = make([]float64, g.NumQueries())
+		b.qw = make([]float64, nq)
 		for q := range b.qw {
 			b.qw[q] = float64(g.QueryWeight(int32(q)))
 		}
@@ -181,7 +228,8 @@ func (b *bisection) repairBalance() {
 	}
 }
 
-// recountNeighborData rebuilds the per-query side counts from scratch.
+// recountNeighborData rebuilds the per-query side counts from scratch (the
+// two-bucket form of the kernel's ndBuild).
 func (b *bisection) recountNeighborData() {
 	nq := b.g.NumQueries()
 	par.For(nq, b.workers, func(start, end int) {
@@ -200,46 +248,84 @@ func (b *bisection) recountNeighborData() {
 	})
 }
 
-// computeGains evaluates Equation 1: the improvement from moving each data
-// vertex to the opposite side, plus the incremental-update penalty. When the
-// active frontier is armed (b.allActive false), only vertices adjacent to a
-// query whose counts changed keep their gains recomputed; everyone else's
-// cached gain is already exact, because it depends only on the vertex's side
-// and its queries' unchanged counts.
+// rebuildGain resums vertex v's Equation 1 accumulators from the current
+// side counts and derives the gain. All terms are grid values, so the
+// resummation lands on the same bits as any sequence of patches arriving at
+// the same counts.
+func (b *bisection) rebuildGain(v int32) int64 {
+	cur := b.side[v]
+	oth := 1 - cur
+	tCur := b.tables[cur].T
+	tOth := b.tables[oth].T
+	own, sumOth := 0.0, 0.0
+	neighbors := b.g.DataNeighbors(v)
+	if b.qw == nil {
+		for _, q := range neighbors {
+			own += tCur[b.n[cur][q]-1]
+			sumOth += tOth[b.n[oth][q]]
+		}
+	} else {
+		for _, q := range neighbors {
+			wq := b.qw[q]
+			own += wq * tCur[b.n[cur][q]-1]
+			sumOth += wq * tOth[b.n[oth][q]]
+		}
+	}
+	b.accOwn[v] = own
+	b.accOth[v] = sumOth
+	b.deriveGain(v)
+	return int64(2 * len(neighbors))
+}
+
+// deriveGain turns vertex v's cached accumulators into its move gain:
+// Equation 1 plus the incremental-update penalty. Grid-exact sums make
+// accOwn − accOth equal, bit for bit, to the interleaved single-pass
+// summation the full path performs.
+func (b *bisection) deriveGain(v int32) {
+	g := b.tables[0].mult * (b.accOwn[v] - b.accOth[v])
+	if b.opts.MoveCostPenalty > 0 && b.home != nil && b.home[v] >= 0 {
+		if b.side[v] == b.home[v] {
+			g -= b.opts.MoveCostPenalty // would leave home
+		} else {
+			g += b.opts.MoveCostPenalty // would return home
+		}
+	}
+	b.gains[v] = g
+}
+
+// computeGains brings every vertex's Equation 1 gain up to date. On the
+// full path (DisableIncremental) every vertex re-walks its membership each
+// iteration. On the incremental path only flagged vertices do anything:
+// movers (and full sweeps) resum their accumulators, patched vertices
+// re-derive the gain from the already-exact accumulators, and untouched
+// vertices keep their cached gain — which is bit-identical to what a
+// recomputation would produce, because none of its inputs changed.
 func (b *bisection) computeGains() {
 	nd := b.g.NumData()
-	penalty := b.opts.MoveCostPenalty
-	all := b.allActive || b.active == nil
-	par.For(nd, b.workers, func(start, end int) {
+	if b.active == nil {
+		// Full path: one interleaved Equation 1 pass per vertex.
+		par.For(nd, b.workers, func(start, end int) {
+			for v := start; v < end; v++ {
+				b.gains[v] = b.freshGain(int32(v))
+			}
+		})
+		b.gainWork += 2 * int64(b.g.NumEdges())
+		return
+	}
+	all := b.allActive
+	var work int64
+	par.ForWorker(nd, b.workers, func(_, start, end int) {
+		var local int64
 		for v := start; v < end; v++ {
-			if !all && b.active[v] == 0 {
-				continue
+			if all || b.active[v] == activeRebuild {
+				local += b.rebuildGain(int32(v))
+			} else if b.active[v] == activeSelect {
+				b.deriveGain(int32(v))
 			}
-			cur := b.side[v]
-			oth := 1 - cur
-			tCur := b.tables[cur].T
-			tOth := b.tables[oth].T
-			sum := 0.0
-			if b.qw == nil {
-				for _, q := range b.g.DataNeighbors(int32(v)) {
-					sum += tCur[b.n[cur][q]-1] - tOth[b.n[oth][q]]
-				}
-			} else {
-				for _, q := range b.g.DataNeighbors(int32(v)) {
-					sum += b.qw[q] * (tCur[b.n[cur][q]-1] - tOth[b.n[oth][q]])
-				}
-			}
-			g := b.tables[0].mult * sum
-			if penalty > 0 && b.home != nil && b.home[v] >= 0 {
-				if cur == b.home[v] {
-					g -= penalty // would leave home
-				} else {
-					g += penalty // would return home
-				}
-			}
-			b.gains[v] = g
 		}
+		atomic.AddInt64(&work, local)
 	})
+	b.gainWork += work
 }
 
 // objective returns the subproblem's current objective value (sum over
@@ -304,15 +390,13 @@ func (b *bisection) run() []int8 {
 		} else {
 			moved = b.applyProbabilistic(iter)
 		}
-		if incremental {
-			b.refreshActive()
-		}
 		b.history = append(b.history, IterStats{
 			Level: b.level, Task: b.task, Iter: iter,
 			Objective:     b.objective(),
 			Moved:         moved,
 			MovedFraction: float64(moved) / float64(nd),
 		})
+		b.workHist = append(b.workHist, b.gainWork)
 		if moved == 0 || float64(moved)/float64(nd) < b.opts.MinMoveFraction {
 			break
 		}
@@ -414,81 +498,159 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 			decided[v] = false // undone
 		}
 	}
-	// Phase 3 (parallel): neighbor-count updates for surviving moves.
 	accepted := applied[:0]
 	for _, v := range applied {
 		if decided[v] {
 			accepted = append(accepted, v)
 		}
 	}
+	// Phase 3: neighbor-count updates for surviving moves. Small batches on
+	// the incremental path go through the serial patch collector (counts,
+	// net deltas, dirty queries, member patches — O(churn·deg)); everything
+	// else takes the parallel atomic path, with a full rebuild sweep
+	// scheduled when the engine is on.
+	if b.active != nil && len(accepted)*sweepFallbackDiv < nd {
+		for _, v := range accepted {
+			b.applyMovePatched(v)
+		}
+		b.finishPatch(accepted)
+		return int64(len(accepted))
+	}
 	par.For(len(accepted), b.workers, func(start, end int) {
 		for i := start; i < end; i++ {
 			v := accepted[i]
 			oth := b.side[v] // already flipped
 			cur := 1 - oth
-			if b.dirty != nil {
-				for _, q := range b.g.DataNeighbors(v) {
-					atomic.AddInt32(&b.n[cur][q], -1)
-					atomic.AddInt32(&b.n[oth][q], 1)
-					atomic.StoreInt32(&b.dirty[q], 1)
-				}
-			} else {
-				for _, q := range b.g.DataNeighbors(v) {
-					atomic.AddInt32(&b.n[cur][q], -1)
-					atomic.AddInt32(&b.n[oth][q], 1)
-				}
+			for _, q := range b.g.DataNeighbors(v) {
+				atomic.AddInt32(&b.n[cur][q], -1)
+				atomic.AddInt32(&b.n[oth][q], 1)
 			}
 		}
 	})
 	if b.active != nil {
-		b.lastMoved = append(b.lastMoved[:0], accepted...)
+		for i := range b.active {
+			b.active[i] = activeRebuild
+		}
 	}
 	return int64(len(accepted))
 }
 
-// refreshActive converts the dirty-query marks accumulated by the move phase
-// into the next iteration's active vertex frontier, clearing the marks.
-// Moved vertices are re-activated unconditionally: a mover's gain depends on
-// its own side even when it has no hyperedges (the MoveCostPenalty term), so
-// dirty-query adjacency alone would miss isolated vertices. Marking runs
-// over disjoint vertex ranges (each worker binary-searches its slice of a
-// dirty query's sorted member list), so no two goroutines touch the same
-// flag.
-func (b *bisection) refreshActive() {
+// applyMovePatched folds one already-flipped mover's count transfers into
+// the maintained side counts while accumulating the batch's net per-query
+// deltas and the dirty-query list the diff will read. Serial by design:
+// patch batches are churn-sized, and first-touch order fixes the dirty
+// list deterministically.
+func (b *bisection) applyMovePatched(v int32) {
+	oth := b.side[v] // already flipped
+	cur := 1 - oth
+	for _, q := range b.g.DataNeighbors(v) {
+		b.n[cur][q]--
+		b.n[oth][q]++
+		b.d[cur][q]--
+		b.d[oth][q]++
+		if b.dirtyFlag[q] == 0 {
+			b.dirtyFlag[q] = 1
+			b.dirtyQ = append(b.dirtyQ, q)
+		}
+	}
+}
+
+// patchGroup is one dirty query's precomputed accumulator adjustments: a
+// member on side s gains own[s] on accOwn (its own-side term moved through
+// DeltaOwn) and away[1−s] on accOth (the opposite side's term through
+// DeltaAway); a side whose count did not change contributes exactly 0.
+// Precomputing the four products once per query replaces the per-member
+// record walk with two branch-free adds — the products are the same
+// wq·Delta values per-member patching would compute, so the folded sums
+// are bit-identical.
+type patchGroup struct {
+	q         int32
+	own, away [2]float64
+	nrec      int64 // changed sides, for the gainWork accounting
+}
+
+// finishPatch closes a patched move batch: each dirty query's canonical
+// (side, cOld, cNew) changes are derived from its net count deltas (cOld =
+// cNew − net, exactly what a pre-batch snapshot would have diffed out) and
+// folded into the clean members' accumulators in parallel over disjoint
+// vertex ranges — exact arithmetic makes the patch order (and the range
+// partition) irrelevant to the result. Movers are scheduled for a rebuild:
+// their own side changed, so the cached accumulators (and any patches
+// applied to them above) refer to the wrong frame.
+func (b *bisection) finishPatch(movers []int32) {
+	b.pgs = b.pgs[:0]
+	for _, q := range b.dirtyQ {
+		pg := patchGroup{q: q}
+		wq := 1.0
+		if b.qw != nil {
+			wq = b.qw[q]
+		}
+		for s := int32(0); s < 2; s++ {
+			if dd := b.d[s][q]; dd != 0 {
+				cNew := b.n[s][q]
+				cOld := cNew - dd
+				pg.own[s] = wq * b.tables[s].DeltaOwn(cOld, cNew)
+				pg.away[s] = wq * b.tables[s].DeltaAway(cOld, cNew)
+				pg.nrec++
+				b.d[s][q] = 0
+			}
+		}
+		b.dirtyFlag[q] = 0
+		if pg.nrec > 0 {
+			b.pgs = append(b.pgs, pg)
+		}
+	}
+	b.dirtyQ = b.dirtyQ[:0]
+
 	for i := range b.active {
 		b.active[i] = 0
 	}
-	nq := b.g.NumQueries()
-	dirty := b.dirtyList[:0]
-	for q := 0; q < nq; q++ {
-		if b.dirty[q] != 0 {
-			b.dirty[q] = 0
-			dirty = append(dirty, int32(q))
-		}
-	}
-	b.dirtyList = dirty
 	nd := b.g.NumData()
+	var work int64
 	par.ForWorker(nd, b.workers, func(_, vs, ve int) {
 		lo32, hi32 := int32(vs), int32(ve)
-		for _, q := range dirty {
-			members := b.g.QueryNeighbors(q)
+		var local int64
+		for gi := range b.pgs {
+			pg := &b.pgs[gi]
+			members := b.g.QueryNeighbors(pg.q)
 			i := lowerBound(members, lo32)
-			for _, d := range members[i:] {
-				if d >= hi32 {
+			for _, v := range members[i:] {
+				if v >= hi32 {
 					break
 				}
-				b.active[d] = 1
+				c := b.side[v]
+				b.accOwn[v] += pg.own[c]
+				b.accOth[v] += pg.away[1-c]
+				b.active[v] = activeSelect
+				local += pg.nrec
 			}
 		}
+		atomic.AddInt64(&work, local)
 	})
-	for _, v := range b.lastMoved {
-		b.active[v] = 1
+	b.gainWork += work
+	for _, v := range movers {
+		b.active[v] = activeRebuild
 	}
-	b.lastMoved = b.lastMoved[:0]
+}
+
+// discardPatch drops a batch's collected deltas without diffing (the sweep
+// fallback of the exact pairing, whose batch size is only known at the
+// end) and schedules the full rebuild sweep instead.
+func (b *bisection) discardPatch() {
+	for _, q := range b.dirtyQ {
+		b.d[0][q], b.d[1][q] = 0, 0
+		b.dirtyFlag[q] = 0
+	}
+	b.dirtyQ = b.dirtyQ[:0]
+	for i := range b.active {
+		b.active[i] = activeRebuild
+	}
 }
 
 // freshGain recomputes vertex v's Equation 1 gain from the current counts
 // (as opposed to the batch gains computed at the start of the iteration).
+// This is both the full path's per-vertex evaluation and the exact
+// pairing's mid-batch re-check.
 func (b *bisection) freshGain(v int32) float64 {
 	cur := b.side[v]
 	oth := 1 - cur
@@ -515,7 +677,10 @@ func (b *bisection) freshGain(v int32) float64 {
 	return g
 }
 
-// moveExact applies one move, maintaining counts and weights.
+// moveExact applies one move, maintaining counts and weights immediately
+// (the exact pairing interleaves moves with fresh gain reads) and, on the
+// incremental path, the same net-delta bookkeeping the patched batch
+// collector keeps.
 func (b *bisection) moveExact(v int32) {
 	cur := b.side[v]
 	oth := 1 - cur
@@ -523,15 +688,14 @@ func (b *bisection) moveExact(v int32) {
 	wv := int64(b.g.DataWeight(v))
 	b.w[cur] -= wv
 	b.w[oth] += wv
+	if b.active != nil {
+		b.applyMovePatched(v)
+		b.lastMoved = append(b.lastMoved, v)
+		return
+	}
 	for _, q := range b.g.DataNeighbors(v) {
 		b.n[cur][q]--
 		b.n[oth][q]++
-		if b.dirty != nil {
-			b.dirty[q] = 1
-		}
-	}
-	if b.active != nil {
-		b.lastMoved = append(b.lastMoved, v)
 	}
 }
 
@@ -542,6 +706,10 @@ func (b *bisection) moveExact(v int32) {
 // improves the objective — this is what rules out the batch-move
 // oscillation and makes the objective monotone. One-sided positive-gain
 // extras then use the ε headroom. Fully deterministic.
+//
+// The batch size is only known at the end, so net deltas are always
+// collected (two int adds per transfer) and either diffed into patches or
+// discarded in favor of the sweep, depending on the realized moved count.
 func (b *bisection) applyExact(iter int) int64 {
 	_ = iter
 	b.lastMoved = b.lastMoved[:0] // repopulated by moveExact
@@ -608,6 +776,13 @@ func (b *bisection) applyExact(iter int) int64 {
 			}
 			b.moveExact(v)
 			moved++
+		}
+	}
+	if b.active != nil {
+		if int(moved)*sweepFallbackDiv < b.g.NumData() {
+			b.finishPatch(b.lastMoved)
+		} else {
+			b.discardPatch()
 		}
 	}
 	return moved

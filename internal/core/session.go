@@ -259,14 +259,7 @@ func (s *Session) syncEngine() {
 			if c > st.k {
 				c = st.k
 			}
-			st.ndOff = append(st.ndOff, st.ndOff[len(st.ndOff)-1]+int64(c))
-		}
-		st.ndLen = append(st.ndLen, make([]int32, nq-s.engNQ)...)
-		if need := st.ndOff[nq]; int64(len(st.ndEnt)) < need {
-			st.ndEnt = append(st.ndEnt, make([]ndEntry, need-int64(len(st.ndEnt)))...)
-		}
-		if st.dirtyFlag != nil {
-			st.dirtyFlag = append(st.dirtyFlag, make([]uint8, nq-s.engNQ)...)
+			st.nd.appendQuery(int32(c))
 		}
 		if st.qw != nil {
 			for q := s.engNQ; q < nq; q++ {
@@ -322,26 +315,26 @@ func (s *Session) syncEngine() {
 			if int(q) >= s.engNQ {
 				continue // added and removed within the window: empty segment
 			}
-			st.ndEntries -= int64(st.ndLen[q])
-			st.ndLen[q] = 0
+			st.nd.entries -= int64(st.nd.len[q])
+			st.nd.len[q] = 0
 		}
 		cnt := make([]int32, st.k)
 		for q := s.engNQ; q < nq; q++ {
-			pos := st.ndOff[q]
+			pos := st.nd.off[q]
 			n := int32(0)
 			for _, d := range g.QueryNeighbors(int32(q)) {
 				cnt[st.bucket[d]]++
 			}
 			for b := int32(0); int(b) < st.k; b++ {
 				if cnt[b] > 0 {
-					st.ndEnt[pos] = ndEntry{b: b, c: cnt[b]}
+					st.nd.ent[pos] = NDEntry{B: b, C: cnt[b]}
 					cnt[b] = 0
 					pos++
 					n++
 				}
 			}
-			st.ndLen[q] = n
-			st.ndEntries += int64(n)
+			st.nd.len[q] = n
+			st.nd.entries += int64(n)
 		}
 	}
 
@@ -403,7 +396,7 @@ func (s *Session) repairOverCap() {
 		// Repairs are rare and small, so the hub-conservative rebuild
 		// (members instead of patches) costs nothing measurable.
 		for _, q := range s.g.DataNeighbors(v) {
-			st.ndEntries += st.applyEntryDelta(q, from, to)
+			st.nd.entries += st.nd.applyEntryDelta(q, from, to)
 			for _, d := range s.g.QueryNeighbors(q) {
 				st.active[d] = activeRebuild
 			}

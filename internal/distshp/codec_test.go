@@ -38,12 +38,12 @@ func TestWireCodecs(t *testing.T) {
 		{Data: 2, New: 1},
 		{Data: 3, New: 1},
 	})
-	roundTrip(t, deltaCodec{}, msgDelta{Query: 9, Bucket: 4, COld: 2, CNew: 3})
-	roundTrip(t, deltaCodec{}, msgDelta{Query: 1 << 29, Bucket: 0, COld: 0, CNew: 7})
+	roundTrip(t, deltaCodec{}, msgDelta{Bucket: 4, COld: 2, CNew: 3})
+	roundTrip(t, deltaCodec{}, msgDelta{Bucket: 1 << 29, COld: 0, CNew: 7})
 	roundTrip(t, deltaBatchCodec{}, msgDeltaBatch{
-		{Query: 1, Bucket: 2, COld: 3, CNew: 4},
-		{Query: 1, Bucket: 3, COld: 1, CNew: 0},
-		{Query: 5, Bucket: 2, COld: 0, CNew: 1},
+		{Bucket: 2, COld: 3, CNew: 4},
+		{Bucket: 3, COld: 1, CNew: 0},
+		{Bucket: 2, COld: 0, CNew: 1},
 	})
 	roundTrip(t, deltaBatchCodec{}, msgDeltaBatch{})
 }
@@ -73,7 +73,7 @@ func TestCodecTruncation(t *testing.T) {
 	if _, _, err := (deltaBatchCodec{}).Decode([]byte{2, 0, 0, 0}); err == nil {
 		t.Fatal("delta batch count exceeding payload should fail")
 	}
-	buf, err := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{{Query: 1, Bucket: 2, COld: 0, CNew: 1}})
+	buf, err := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{{Bucket: 2, COld: 0, CNew: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestCombineSemantics(t *testing.T) {
 // the same batch with every record exactly once, in send order — merging
 // already-merged batches neither drops nor duplicates records.
 func TestCombineDeltaRecords(t *testing.T) {
-	r := func(i int32) msgDelta { return msgDelta{Query: i, Bucket: i % 4, COld: i, CNew: i + 1} }
+	r := func(i int32) msgDelta { return msgDelta{Bucket: i % 4, COld: i, CNew: i + 1} }
 	want := msgDeltaBatch{r(1), r(2), r(3), r(4)}
 	cases := []struct {
 		name string
@@ -149,5 +149,5 @@ func TestCombineRejectsMixedKinds(t *testing.T) {
 			t.Fatal("combining msgGain with msgDelta should panic")
 		}
 	}()
-	combine(msgGain{Cur: 1}, msgDelta{Query: 1})
+	combine(msgGain{Cur: 1}, msgDelta{Bucket: 1})
 }

@@ -102,10 +102,11 @@ func TestDistRebuildScheduleInvariant(t *testing.T) {
 
 // TestDistDeltaPatchProperty is the distributed mirror of core's
 // patched-vs-rebuilt property tests: random move batches flow through the
-// real query-side diff (applyUpdate + deltaRecords), the real wire codecs,
-// and the real data-side patch (applyDelta); after every batch the patched
-// accumulators of clean observer vertices must bit-equal a from-scratch
-// resummation of the query histograms.
+// real query-side diff (applyUpdate + deltaRecords on the mapless
+// sorted-slice state), the real wire codecs, and the real data-side patch
+// (applyDelta); after every batch the patched accumulators of clean
+// observer vertices must bit-equal a from-scratch resummation of the query
+// histograms.
 func TestDistDeltaPatchProperty(t *testing.T) {
 	const (
 		numData  = 60
@@ -129,15 +130,20 @@ func TestDistDeltaPatchProperty(t *testing.T) {
 		for i := 0; i < 24; i++ {
 			set[int32(r.Intn(numData))] = true
 		}
-		st := &queryState{q: int32(q), counts: map[int32]int32{}, dataBucket: map[int32]int32{}}
 		for d := int32(0); d < numData; d++ {
-			if !set[d] {
-				continue
+			if set[d] {
+				members[q] = append(members[q], d)
 			}
-			members[q] = append(members[q], d)
-			st.dataBucket[d] = bucketOf[d]
-			st.counts[bucketOf[d]]++
 		}
+		st := &queryState{q: int32(q), level: -1}
+		st.register(0, len(members[q]))
+		for _, d := range members[q] {
+			// Registration round: every member is a mover, exactly as a
+			// level start plays out; scratch is reset before the test's
+			// tracked move rounds begin.
+			st.applyUpdate(members[q], msgBucket{Data: d, New: bucketOf[d]}, true)
+		}
+		st.resetSuperstep()
 		isMember[q] = set
 		qs[q] = st
 	}
@@ -152,8 +158,8 @@ func TestDistDeltaPatchProperty(t *testing.T) {
 			if !isMember[q][o] {
 				continue
 			}
-			cur += tb.T[qs[q].counts[bucket]-1]
-			oth += tb.T[qs[q].counts[bucket^1]]
+			cur += tb.T[core.NDCount(qs[q].ent, bucket)-1]
+			oth += tb.T[core.NDCount(qs[q].ent, bucket^1)]
 		}
 		return cur, oth
 	}
@@ -178,18 +184,17 @@ func TestDistDeltaPatchProperty(t *testing.T) {
 		// clean members, exactly as computeQuery does.
 		batches := map[int32]msgDeltaBatch{}
 		for q, st := range qs {
-			touched := map[int32]int32{}
 			dirty := false
 			for _, d := range members[q] {
 				if nb, ok := moves[d]; ok {
-					st.applyUpdate(msgBucket{Data: d, New: nb}, touched)
+					st.applyUpdate(members[q], msgBucket{Data: d, New: nb}, true)
 					dirty = true
 				}
 			}
 			if !dirty {
 				continue
 			}
-			recs := st.deltaRecords(touched)
+			recs := st.deltaRecords()
 			for _, rec := range recs {
 				// Single-record wire round trip.
 				buf, err := (deltaCodec{}).Append(nil, rec)
@@ -202,8 +207,8 @@ func TestDistDeltaPatchProperty(t *testing.T) {
 						round, got, used, err, rec)
 				}
 			}
-			for _, d := range members[q] {
-				if _, movedNow := moves[d]; movedNow {
+			for i, d := range members[q] {
+				if st.moved[i] {
 					continue
 				}
 				ds, ok := obs[d]
@@ -216,6 +221,7 @@ func TestDistDeltaPatchProperty(t *testing.T) {
 					}
 				}
 			}
+			st.resetSuperstep()
 		}
 		for d, nb := range moves {
 			bucketOf[d] = nb
@@ -251,6 +257,31 @@ func TestDistDeltaPatchProperty(t *testing.T) {
 					round, o, ds.sumCur, ds.sumOth, wantCur, wantOth)
 			}
 		}
+	}
+}
+
+// TestDeltaWireSize pins the slimmed delta encoding: receivers patch by
+// table-value differences alone, so no query id travels with a record —
+// 12 bytes each (bucket, cOld, cNew), 25% below the previous 16-byte
+// frame, and a batch of n small records costs exactly 1 + 12n bytes.
+func TestDeltaWireSize(t *testing.T) {
+	if deltaWireSize != 12 {
+		t.Fatalf("deltaWireSize = %d, want 12 (bucket + cOld + cNew, no query id)", deltaWireSize)
+	}
+	rec := msgDelta{Bucket: 5, COld: 2, CNew: 3}
+	if got := len(appendDelta(nil, rec)); got != 12 {
+		t.Fatalf("encoded msgDelta is %d bytes, want 12", got)
+	}
+	batch := msgDeltaBatch{rec, {Bucket: 4, COld: 0, CNew: 1}, {Bucket: 1, COld: 7, CNew: 0}}
+	buf, err := (deltaBatchCodec{}).Append(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 12*len(batch); len(buf) != want {
+		t.Fatalf("encoded batch of %d records is %d bytes, want %d", len(batch), len(buf), want)
+	}
+	if sz := (deltaBatchCodec{}).Size(batch); sz != len(buf) {
+		t.Fatalf("Size %d != encoded %d", sz, len(buf))
 	}
 }
 

@@ -249,8 +249,12 @@ type (
 	// entry absent). Sent only to clean members whose sibling pair contains
 	// Bucket; receivers patch their persistent accumulators through the
 	// exact dyadic-grid arithmetic of core.GainTables.DeltaOwn/DeltaAway.
+	// The record deliberately omits the sending query's id: patch
+	// arithmetic is a sum of per-record table-value differences, so the
+	// receiver never needs to know which query a record came from, and
+	// dropping the id cuts the wire size of every late-iteration gain
+	// superstep by a quarter.
 	msgDelta struct {
-		Query  int32
 		Bucket int32
 		COld   int32
 		CNew   int32
@@ -328,63 +332,101 @@ func (st *dataState) applyDelta(tb core.GainTables, r msgDelta) {
 	}
 }
 
-// queryState is the per-query-vertex state: the paper's "neighbor data".
+// queryState is the per-query-vertex state: the paper's "neighbor data",
+// held mapless in the shared kernel's canonical sorted-slice layout
+// (core.NDEntry) so the gain superstep performs zero hash operations. The
+// member registry is an int32 slice aligned with the query's sorted
+// adjacency list — member lookups are binary searches, and the per-level
+// reset is a linear fill instead of a map rebuild.
 type queryState struct {
-	q          int32
-	level      int
-	counts     map[int32]int32 // bucket -> count of adjacent data there
-	dataBucket map[int32]int32 // data id -> last known bucket
-	// prevLen is len(counts) after the previous superstep-1, so the global
+	q     int32
+	level int
+	// ent is the live neighbor data, sorted by bucket: the distributed
+	// mirror of one in-process CSR segment, maintained through the same
+	// kernel slice operations (core.NDInc/NDDec) and diffed with the same
+	// core.NDDiff, so delta records match the in-process diff bit for bit.
+	ent []core.NDEntry
+	// memberBucket[i] is the last known bucket of the i-th member of the
+	// query's sorted adjacency list, -1 while unregistered at this level.
+	memberBucket []int32
+	// prevLen is len(ent) after the previous superstep-1, so the global
 	// live-entry total (average fanout) can be maintained by the master from
 	// per-query diffs instead of graph passes.
 	prevLen int32
+
+	// Per-superstep scratch, reused so the steady state allocates nothing:
+	// snap holds the pre-superstep segment (taken on the first tracked
+	// update, diffed by deltaRecords), moved/movedIdx flag this superstep's
+	// movers by member index, changes/recs are the diff output buffers.
+	snap     []core.NDEntry
+	snapped  bool
+	moved    []bool
+	movedIdx []int32
+	changes  []core.NDChange
+	recs     []msgDelta
 }
 
-// applyUpdate folds one bucket update into the neighbor data. When touched
-// is non-nil, the pre-update count of every bucket whose count this
-// superstep changes is recorded on first touch, so deltaRecords can diff the
-// net per-bucket changes afterwards.
-func (st *queryState) applyUpdate(mb msgBucket, touched map[int32]int32) {
-	if prev, ok := st.dataBucket[mb.Data]; ok {
-		if touched != nil {
-			if _, seen := touched[prev]; !seen {
-				touched[prev] = st.counts[prev]
-			}
-		}
-		st.counts[prev]--
-		if st.counts[prev] == 0 {
-			delete(st.counts, prev)
-		}
+// register (re)initializes the member registry for a new level.
+func (st *queryState) register(level, degree int) {
+	st.level = level
+	st.ent = st.ent[:0]
+	if st.memberBucket == nil {
+		st.memberBucket = make([]int32, degree)
+		st.moved = make([]bool, degree)
 	}
-	if touched != nil {
-		if _, seen := touched[mb.New]; !seen {
-			touched[mb.New] = st.counts[mb.New]
-		}
+	for i := range st.memberBucket {
+		st.memberBucket[i] = -1
 	}
-	st.dataBucket[mb.Data] = mb.New
-	st.counts[mb.New]++
 }
 
-// deltaRecords diffs the touched buckets against the current counts into
-// canonical sorted-by-bucket (query, bucket, cOld, cNew) records, skipping
+// applyUpdate folds one bucket update into the neighbor data. members is
+// the query's sorted adjacency list. When track is set (the incremental
+// plane), the pre-superstep segment is snapshotted on first touch and the
+// updating member is flagged as a mover, so deltaRecords can diff the net
+// per-bucket changes and the send loop can route full contributions to
+// movers only.
+func (st *queryState) applyUpdate(members []int32, mb msgBucket, track bool) {
+	i, ok := slices.BinarySearch(members, mb.Data)
+	if !ok {
+		panic(fmt.Sprintf("distshp: bucket update from non-member %d reached query %d", mb.Data, st.q))
+	}
+	if track {
+		if !st.snapped {
+			st.snapped = true
+			st.snap = append(st.snap[:0], st.ent...)
+		}
+		if !st.moved[i] {
+			st.moved[i] = true
+			st.movedIdx = append(st.movedIdx, int32(i))
+		}
+	}
+	if prev := st.memberBucket[i]; prev >= 0 {
+		st.ent = core.NDDec(st.ent, prev)
+	}
+	st.memberBucket[i] = mb.New
+	st.ent = core.NDInc(st.ent, mb.New)
+}
+
+// deltaRecords diffs the pre-superstep snapshot against the current counts
+// into canonical sorted-by-bucket (bucket, cOld, cNew) records, skipping
 // buckets whose net count is unchanged. 0 means "entry absent" on either
 // side.
-func (st *queryState) deltaRecords(touched map[int32]int32) []msgDelta {
-	if len(touched) == 0 {
-		return nil
+func (st *queryState) deltaRecords() []msgDelta {
+	st.changes = core.NDDiff(st.changes[:0], st.snap, st.ent)
+	st.recs = st.recs[:0]
+	for _, c := range st.changes {
+		st.recs = append(st.recs, msgDelta{Bucket: c.B, COld: c.COld, CNew: c.CNew})
 	}
-	tl := make([]int32, 0, len(touched))
-	for b := range touched {
-		tl = append(tl, b)
+	return st.recs
+}
+
+// resetSuperstep clears the tracked-superstep scratch in O(#movers).
+func (st *queryState) resetSuperstep() {
+	for _, i := range st.movedIdx {
+		st.moved[i] = false
 	}
-	slices.Sort(tl)
-	var recs []msgDelta
-	for _, b := range tl {
-		if cur := st.counts[b]; cur != touched[b] {
-			recs = append(recs, msgDelta{Query: st.q, Bucket: b, COld: touched[b], CNew: cur})
-		}
-	}
-	return recs
+	st.movedIdx = st.movedIdx[:0]
+	st.snapped = false
 }
 
 // proposalAgg aggregates per-direction gain histograms for the master.
@@ -515,13 +557,8 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 	}
 	for q := 0; q < numQ; q++ {
 		vertices = append(vertices, &pregel.Vertex{
-			ID: pregel.VertexID(numD + q),
-			State: &queryState{
-				q:          int32(q),
-				level:      -1,
-				counts:     map[int32]int32{},
-				dataBucket: map[int32]int32{},
-			},
+			ID:    pregel.VertexID(numD + q),
+			State: &queryState{q: int32(q), level: -1},
 		})
 	}
 
@@ -825,72 +862,63 @@ func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState,
 		if v := ctx.ReadAggregator("rebuild"); v != nil && v.(bool) {
 			full = true
 		}
+		members := g.QueryNeighbors(st.q)
 		if level != st.level {
 			// Level changed: rebuild from the registration messages. Every
 			// data vertex re-registers, so every member counts as a mover
 			// and receives a full contribution below.
-			st.level = level
-			st.counts = map[int32]int32{}
-			st.dataBucket = map[int32]int32{}
+			st.register(level, len(members))
 		}
-		// Apply the bucket updates. On the incremental path, track which
-		// members moved and the pre-update count of every touched bucket so
-		// the net per-bucket changes can be diffed out afterwards.
-		var movers map[int32]bool
-		var touched map[int32]int32
-		apply := func(mb msgBucket) {
-			if !full && movers == nil {
-				movers = make(map[int32]bool)
-				touched = make(map[int32]int32)
-			}
-			if movers != nil {
-				movers[mb.Data] = true
-			}
-			st.applyUpdate(mb, touched)
-		}
+		// Apply the bucket updates. On the incremental path, flag the
+		// members that moved and snapshot the pre-superstep segment so the
+		// net per-bucket changes can be diffed out afterwards. No map is
+		// touched anywhere in this superstep: counts live in the kernel's
+		// sorted-slice layout and member lookups are binary searches over
+		// the sorted adjacency list.
+		track := !full
 		for _, m := range msgs {
 			switch mb := m.(type) {
 			case msgBucket:
-				apply(mb)
+				st.applyUpdate(members, mb, track)
 			case msgBucketBatch:
 				for _, u := range mb {
-					apply(u)
+					st.applyUpdate(members, u, track)
 				}
 			}
 		}
 		// Fanout bookkeeping: hand the master the live-entry diff so it can
 		// maintain the global average fanout without graph passes. Identical
 		// on every path (count maintenance does not depend on the plane).
-		if n := int32(len(st.counts)); n != st.prevLen {
+		if n := int32(len(st.ent)); n != st.prevLen {
 			ctx.Aggregate("fanoutDiff", int64(n-st.prevLen))
 			st.prevLen = n
 		}
-		// Send each member its gain-state update. Iterating adjacency (not
-		// the dataBucket map) keeps send order — and with it uncombined
-		// floating-point summation order — deterministic; grid-exact sums
-		// make the order irrelevant to the result either way.
+		// Send each member its gain-state update. Iterating the adjacency
+		// list keeps send order — and with it uncombined floating-point
+		// summation order — deterministic; grid-exact sums make the order
+		// irrelevant to the result either way.
 		tb := tables[level]
 		if full {
-			for _, d := range g.QueryNeighbors(st.q) {
-				b, ok := st.dataBucket[d]
-				if !ok {
+			for i, d := range members {
+				b := st.memberBucket[i]
+				if b < 0 {
 					continue
 				}
-				ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[st.counts[b]-1], Oth: tb.T[st.counts[b^1]]})
+				ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[core.NDCount(st.ent, b)-1], Oth: tb.T[core.NDCount(st.ent, b^1)]})
 			}
 			return
 		}
-		if movers == nil {
+		if !st.snapped {
 			return // clean query: members' accumulators are already exact
 		}
-		recs := st.deltaRecords(touched)
-		for _, d := range g.QueryNeighbors(st.q) {
-			b, ok := st.dataBucket[d]
-			if !ok {
+		recs := st.deltaRecords()
+		for i, d := range members {
+			b := st.memberBucket[i]
+			if b < 0 {
 				continue
 			}
-			if movers[d] {
-				ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[st.counts[b]-1], Oth: tb.T[st.counts[b^1]]})
+			if st.moved[i] {
+				ctx.Send(pregel.VertexID(int(d)), msgGain{Cur: tb.T[core.NDCount(st.ent, b)-1], Oth: tb.T[core.NDCount(st.ent, b^1)]})
 				continue
 			}
 			for _, r := range recs {
@@ -899,5 +927,6 @@ func computeQuery(ctx *pregel.Context, g *hypergraph.Bipartite, st *queryState,
 				}
 			}
 		}
+		st.resetSuperstep()
 	}
 }

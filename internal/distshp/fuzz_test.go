@@ -12,8 +12,8 @@ import (
 )
 
 func FuzzDeltaCodec(f *testing.F) {
-	f.Add(appendDelta(nil, msgDelta{Query: 1, Bucket: 2, COld: 3, CNew: 4}))
-	f.Add(appendDelta(nil, msgDelta{Query: -1, Bucket: 0, COld: 0, CNew: 1}))
+	f.Add(appendDelta(nil, msgDelta{Bucket: 2, COld: 3, CNew: 4}))
+	f.Add(appendDelta(nil, msgDelta{Bucket: -1, COld: 0, CNew: 1}))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -46,11 +46,11 @@ func FuzzDeltaCodec(f *testing.F) {
 }
 
 func FuzzDeltaBatchCodec(f *testing.F) {
-	one, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{{Query: 1, Bucket: 2, COld: 0, CNew: 1}})
+	one, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{{Bucket: 2, COld: 0, CNew: 1}})
 	three, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{
-		{Query: 1, Bucket: 2, COld: 3, CNew: 4},
-		{Query: 1, Bucket: 3, COld: 1, CNew: 0},
-		{Query: 7, Bucket: 0, COld: 0, CNew: 9},
+		{Bucket: 2, COld: 3, CNew: 4},
+		{Bucket: 3, COld: 1, CNew: 0},
+		{Bucket: 0, COld: 0, CNew: 9},
 	})
 	empty, _ := (deltaBatchCodec{}).Append(nil, msgDeltaBatch{})
 	f.Add(one)

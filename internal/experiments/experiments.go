@@ -66,6 +66,7 @@ var Registry = []Experiment{
 	{"fig8", "Figure 8: p=0.5 vs direct fanout (a) and clique-net (b) objectives", RunFig8},
 	{"ablate-inc", "Ablation: incremental refinement engine vs full per-iteration rebuilds", RunAblateIncremental},
 	{"dist-delta", "Distributed delta plane: churn-proportional superstep traffic vs full rebroadcast", RunDistDelta},
+	{"shp2-delta", "SHP-2 delta engine: patched gain accumulators vs membership re-walks on hub-heavy warm starts", RunSHP2Delta},
 }
 
 // ByID returns the experiment with the given id.

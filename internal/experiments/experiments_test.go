@@ -18,7 +18,7 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig4a", "fig4b", "table2", "table3",
-		"fig5a", "fig5b", "fig6", "fig7", "fig8", "ablate-inc", "dist-delta"}
+		"fig5a", "fig5b", "fig6", "fig7", "fig8", "ablate-inc", "dist-delta", "shp2-delta"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(Registry), len(want))
 	}
@@ -206,6 +206,15 @@ func TestDistDeltaQuick(t *testing.T) {
 	for _, want := range []string{"delta", "full", "late KB/superstep", "reduced"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("dist-delta missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSHP2DeltaQuick(t *testing.T) {
+	out := runExperiment(t, "shp2-delta")
+	for _, want := range []string{"hub-heavy", "speedup", "fanout", "churn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("shp2-delta missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -37,9 +37,20 @@ func PowerLawBipartite(numQ, numD int, numEdges int64, exponent float64, seed ui
 	if numQ <= 0 || numD <= 0 {
 		return nil, fmt.Errorf("gen: need positive vertex counts, got %d/%d", numQ, numD)
 	}
+	b := hypergraph.NewBuilder(numQ, numD)
+	addPowerLawQueries(b, 0, numQ, numD, numEdges, exponent, seed)
+	return b.Build()
+}
+
+// addPowerLawQueries appends count queries (ids qStart..qStart+count-1)
+// whose degrees follow a power law against a ~budget incidence total,
+// wired to skew-popular data vertices — the tail generator shared by
+// PowerLawBipartite (the whole graph) and HubPowerLawBipartite (everything
+// after the pinned hubs).
+func addPowerLawQueries(b *hypergraph.Builder, qStart, count, numD int, budget int64, exponent float64, seed uint64) {
 	r := rng.New(seed)
 	// Zipf-ish weights for query degrees.
-	qw := powerWeights(numQ, exponent, r)
+	qw := powerWeights(count, exponent, r)
 	var qwSum float64
 	for _, w := range qw {
 		qwSum += w
@@ -48,9 +59,8 @@ func PowerLawBipartite(numQ, numD int, numEdges int64, exponent float64, seed ui
 	dw := powerWeights(numD, exponent+0.5, r)
 	dAlias := newAlias(dw, rng.NewStream(seed, 1))
 
-	b := hypergraph.NewBuilder(numQ, numD)
-	for q := 0; q < numQ; q++ {
-		deg := int(float64(numEdges) * qw[q] / qwSum)
+	for q := 0; q < count; q++ {
+		deg := int(float64(budget) * qw[q] / qwSum)
 		if deg < 2 {
 			deg = 2 // degree-1 queries are pruned anyway (Sec. 4.1)
 		}
@@ -58,8 +68,59 @@ func PowerLawBipartite(numQ, numD int, numEdges int64, exponent float64, seed ui
 			deg = numD
 		}
 		for e := 0; e < deg; e++ {
-			b.AddEdge(int32(q), dAlias.sample())
+			b.AddEdge(int32(qStart+q), dAlias.sample())
 		}
+	}
+}
+
+// HubPowerLawBipartite generates a power-law bipartite graph with a pinned
+// fraction of maximum-degree hub queries: the first
+// round(hubFraction·numQ) queries (at least one) each span exactly
+// hubDegree distinct data vertices (hubDegree <= 0 defaults to numD/4),
+// and the remaining queries draw power-law degrees against the leftover
+// incidence budget, exactly like PowerLawBipartite.
+//
+// The preset exists to make hub-frontier refinement costs reproducible:
+// whenever a member of a hub hyperedge moves, any refiner that re-walks
+// dirty-query memberships pays O(hubDegree) per member per iteration,
+// while the patched-accumulator engines pay O(records). Benchmarks and the
+// shp2-delta experiment pin their speedups on this shape.
+func HubPowerLawBipartite(numQ, numD int, numEdges int64, exponent, hubFraction float64, hubDegree int, seed uint64) (*hypergraph.Bipartite, error) {
+	if numQ <= 0 || numD <= 0 {
+		return nil, fmt.Errorf("gen: need positive vertex counts, got %d/%d", numQ, numD)
+	}
+	if hubFraction < 0 || hubFraction > 1 {
+		return nil, fmt.Errorf("gen: hubFraction %v outside [0,1]", hubFraction)
+	}
+	if hubDegree <= 0 {
+		hubDegree = numD / 4
+	}
+	if hubDegree > numD {
+		hubDegree = numD
+	}
+	if hubDegree < 2 {
+		hubDegree = 2
+	}
+	nHubs := int(hubFraction*float64(numQ) + 0.5)
+	if nHubs < 1 {
+		nHubs = 1
+	}
+	if nHubs > numQ {
+		nHubs = numQ
+	}
+	b := hypergraph.NewBuilder(numQ, numD)
+	for h := 0; h < nHubs; h++ {
+		// Distinct members via a per-hub permutation: the hub degree is
+		// exact, not a dedup casualty.
+		perm := rng.NewStream(seed, 0x4B0B^uint64(h)+1).Perm(numD)
+		for _, d := range perm[:hubDegree] {
+			b.AddEdge(int32(h), int32(d))
+		}
+	}
+	rest := numQ - nHubs
+	budget := numEdges - int64(nHubs)*int64(hubDegree)
+	if rest > 0 && budget > 0 {
+		addPowerLawQueries(b, nHubs, rest, numD, budget, exponent, seed)
 	}
 	return b.Build()
 }

@@ -32,6 +32,55 @@ func TestPowerLawBipartiteShape(t *testing.T) {
 	}
 }
 
+func TestHubPowerLawBipartiteShape(t *testing.T) {
+	const (
+		numQ   = 2000
+		numD   = 3000
+		hubDeg = 1200
+	)
+	g, err := HubPowerLawBipartite(numQ, numD, 30000, 2.2, 0.01, hubDeg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hub fraction is pinned: exactly round(0.01*2000) = 20 queries at
+	// exactly hubDeg distinct members, occupying the lowest ids.
+	hubs := 0
+	for q := 0; q < numQ; q++ {
+		deg := g.QueryDegree(int32(q))
+		switch {
+		case q < 20:
+			if deg != hubDeg {
+				t.Fatalf("hub query %d has degree %d, want exactly %d", q, deg, hubDeg)
+			}
+			hubs++
+		case deg >= hubDeg:
+			t.Fatalf("tail query %d reached hub degree %d", q, deg)
+		}
+	}
+	if hubs != 20 {
+		t.Fatalf("%d hub queries, want 20", hubs)
+	}
+	// Tail stays power-law shaped: max tail degree far above the average.
+	s := g.ComputeStats()
+	if float64(s.MaxQueryDeg) < 4*s.AvgQueryDeg {
+		t.Fatalf("degree distribution not skewed: max %d avg %v", s.MaxQueryDeg, s.AvgQueryDeg)
+	}
+	// Determinism.
+	h, err := HubPowerLawBipartite(numQ, numD, 30000, 2.2, 0.01, hubDeg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != h.NumEdges() {
+		t.Fatal("hub generator not deterministic")
+	}
+	if _, err := HubPowerLawBipartite(10, 10, 100, 2.0, 1.5, 0, 1); err == nil {
+		t.Fatal("hubFraction > 1 should be rejected")
+	}
+}
+
 func TestPowerLawDeterministic(t *testing.T) {
 	a, err := PowerLawBipartite(100, 200, 1000, 2.0, 7)
 	if err != nil {

@@ -338,6 +338,14 @@ func GeneratePowerLawBipartite(numQ, numD int, numEdges int64, exponent float64,
 	return gen.PowerLawBipartite(numQ, numD, numEdges, exponent, seed)
 }
 
+// GenerateHubPowerLawBipartite synthesizes a power-law bipartite hypergraph
+// with a pinned fraction of maximum-degree hub queries (each spanning
+// exactly hubDegree distinct data vertices; hubDegree <= 0 defaults to
+// numD/4) — the shape on which hub-frontier refinement costs show up.
+func GenerateHubPowerLawBipartite(numQ, numD int, numEdges int64, exponent, hubFraction float64, hubDegree int, seed uint64) (*Hypergraph, error) {
+	return gen.HubPowerLawBipartite(numQ, numD, numEdges, exponent, hubFraction, hubDegree, seed)
+}
+
 // GenerateSocialEgoNets synthesizes a community-structured friendship graph
 // and returns its ego-net hypergraph (the storage-sharding workload).
 func GenerateSocialEgoNets(n, avgDeg, communitySize int, intraProb float64, seed uint64) (*Hypergraph, error) {
