@@ -6,7 +6,7 @@
 //	shp -in graph.hgr -k 32 [-format hmetis|edgelist] [-out assignment.txt]
 //	    [-p 0.5] [-eps 0.05] [-direct] [-objective pfanout|fanout|cliquenet]
 //	    [-iters N] [-seed S] [-workers W] [-warm previous.txt] [-penalty X]
-//	    [-no-incremental] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	    [-no-incremental] [-v] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	    [-distributed [-transport memory|tcp] [-no-combine]]
 //	    [-stream trace.txt -prune=false]
 //
@@ -16,9 +16,13 @@
 //
 // Every run reports end-to-end throughput as edges/s (|E| divided by the
 // partitioning wall-clock), so performance work is measurable outside
-// `go test -bench`. -cpuprofile and -memprofile write pprof files covering
-// the partitioning call; -no-incremental ablates the incremental
-// refinement engine (full neighbor-data rebuilds every iteration).
+// `go test -bench`. -v adds a per-iteration table of the work counters
+// (frontier size, gain work, scan work) next to the moved counts, making
+// the active-frontier engine's sublinear idle iterations — and the
+// -no-incremental ablation's pinned |D| frontier — visible from the CLI.
+// -cpuprofile and -memprofile write pprof files covering the partitioning
+// call; -no-incremental ablates the incremental refinement engine (full
+// neighbor-data rebuilds every iteration).
 //
 // With -stream the run becomes a dynamic-graph replay: after the initial
 // partition, delta batches from the trace file (addq/rmq/addd/setw/commit
@@ -68,6 +72,7 @@ func run() error {
 		penalty   = flag.Float64("penalty", 0, "move-cost penalty for incremental updates")
 		prune     = flag.Bool("prune", true, "remove degree-<2 queries before partitioning")
 		noInc     = flag.Bool("no-incremental", false, "disable the incremental refinement engine (ablation)")
+		verbose   = flag.Bool("v", false, "print per-iteration frontier sizes and work counters")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the partitioning to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile taken after partitioning to this file")
 		dist      = flag.Bool("distributed", false, "run on the vertex-centric BSP engine (SHP-2 only)")
@@ -185,6 +190,9 @@ func run() error {
 		before.Fanout, after.Fanout, 100*(after.Fanout/before.Fanout-1))
 	fmt.Fprintf(os.Stderr, "p-fanout:  random %.4f -> shp %.4f\n", before.PFanout, after.PFanout)
 	fmt.Fprintf(os.Stderr, "imbalance: %.4f (eps %.2f)\n", after.Imbalance, *eps)
+	if *verbose {
+		printWork(res)
+	}
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -196,6 +204,27 @@ func run() error {
 		out = of
 	}
 	return shp.WriteAssignment(out, res.Assignment)
+}
+
+// printWork dumps the per-iteration work counters next to the pinned
+// history: the frontier the gain pass visited and the gain/scan work units
+// spent. On the incremental engine these shrink with the moving frontier;
+// with -no-incremental the frontier is pinned at |D| every iteration, which
+// makes the ablation's cost visible directly from the CLI.
+func printWork(res *shp.Result) {
+	if len(res.Work) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%5s %5s %5s %10s %12s %12s %10s\n",
+		"level", "task", "iter", "frontier", "gain-work", "scan-work", "moved")
+	for i, w := range res.Work {
+		var moved int64
+		if i < len(res.History) {
+			moved = res.History[i].Moved
+		}
+		fmt.Fprintf(os.Stderr, "%5d %5d %5d %10d %12d %12d %10d\n",
+			w.Level, w.Task, w.Iter, w.Frontier, w.GainWork, w.ScanWork, moved)
+	}
 }
 
 // runStream replays a delta trace through a live Partitioner session: one
@@ -309,6 +338,9 @@ func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed ui
 	late, lateBytes := res.LateGainBytes(0.01)
 	fmt.Fprintf(os.Stderr, "moved:     %d vertices across %d iterations; %d late iterations (<=1%% moved) shipped %.1f KB on the gain/delta superstep\n",
 		totalMoved, len(res.History), late, float64(lateBytes)/(1<<10))
+	lateP, lateAgg := res.LateProposalBytes(0.01)
+	fmt.Fprintf(os.Stderr, "proposals: %.1f KB aggregator traffic total; %d late iterations shipped %.1f KB of retract/assert deltas\n",
+		float64(res.Stats.AggBytes)/(1<<10), lateP, float64(lateAgg)/(1<<10))
 
 	out := os.Stdout
 	if outPath != "" {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"shp/internal/hypergraph"
 	"shp/internal/par"
@@ -99,6 +100,18 @@ type directState struct {
 	prevAdmiss []bool
 	admissSame bool
 
+	// frontier is the sorted list of vertices applyNDDeltas marked active —
+	// exactly the vertices whose proposal inputs changed in the last batch.
+	// While frontierValid, the stable-skip selection pass and the mark
+	// clearing walk it instead of scanning all of |D|; sweep fallbacks and
+	// external mark injection (a warm Session's engine sync) invalidate it.
+	// frontWork holds the per-worker collection buffers, frontScratch the
+	// radix-sort ping-pong buffer.
+	frontier      []int32
+	frontierValid bool
+	frontWork     [][]int32
+	frontScratch  []int32
+
 	// forceSelect makes the next computeProposals re-run selection for
 	// every vertex even when the admissibility vector is stable. A warm
 	// Session sets it when an input outside the admissibility vector
@@ -117,7 +130,16 @@ type directState struct {
 	// mirroring the bisection refiner.
 	qw []float64
 
-	decided []bool // per-iteration move decisions, reused across iterations
+	// Per-iteration move-protocol scratch, reused across iterations: decided
+	// flags (cleared through decidedList, never by an O(|D|) sweep), the
+	// ascending list of decided vertices with its per-worker collection
+	// buffers, the applied-move buffer, and the per-destination trim groups.
+	decided     []bool
+	decidedList []int32
+	decWork     [][]int32
+	appliedBuf  []move
+	byDst       [][]move
+	dstSorted   []bool
 
 	// Dense pair-histogram scratch (k <= densePairK): per-worker and merged
 	// accumulators plus the per-pair probability tables, all reused across
@@ -126,7 +148,16 @@ type directState struct {
 	pairMerge *pairAcc
 	probTabs  []ProbTable
 
+	// gainWork counts Equation 1 work units (one per neighbor query walked
+	// in a vertex rebuild); scanWork counts per-vertex visits in the
+	// selection/coin/trim loops; lastFrontier is the vertex count the most
+	// recent selection pass visited. Pure observability counters.
+	gainWork     int64
+	scanWork     int64
+	lastFrontier int64
+
 	history []IterStats
+	work    []WorkStats
 }
 
 // proposalCand is one candidate bucket of a data vertex: refs adjacent
@@ -620,17 +651,49 @@ func (st *directState) computeProposals() {
 	st.refreshAdmissibility()
 	skipStable := !full && st.admissSame && !st.g.Weighted() && !st.forceSelect
 	st.forceSelect = false
+	var work int64
+	if skipStable && st.frontierValid {
+		// Frontier mode: the stable skip would pass over every unmarked
+		// vertex anyway, and the marked ones are exactly the frontier — so
+		// visit only it, with no O(|D|) scan to find the marks. Cached
+		// targets and gains of stable vertices stay exactly what a re-run
+		// would produce (that is the stable-skip contract).
+		f := st.frontier
+		par.ForWorker(len(f), st.workers, func(w, start, end int) {
+			s := scratch[w]
+			var local int64
+			for i := start; i < end; i++ {
+				v := int(f[i])
+				if st.active[v] == activeRebuild {
+					st.rebuildVertex(s, v)
+					local += int64(len(st.g.DataNeighbors(int32(v))))
+				}
+				st.target[v], st.gains[v] = st.selectProposal(v)
+			}
+			atomic.AddInt64(&work, local)
+		})
+		st.gainWork += work
+		st.scanWork += int64(len(f))
+		st.lastFrontier = int64(len(f))
+		return
+	}
 	par.ForWorker(nd, st.workers, func(w, start, end int) {
 		s := scratch[w]
+		var local int64
 		for v := start; v < end; v++ {
 			if full || st.active[v] == activeRebuild {
 				st.rebuildVertex(s, v)
+				local += int64(len(st.g.DataNeighbors(int32(v))))
 			} else if skipStable && st.active[v] == 0 {
 				continue
 			}
 			st.target[v], st.gains[v] = st.selectProposal(v)
 		}
+		atomic.AddInt64(&work, local)
 	})
+	st.gainWork += work
+	st.scanWork += int64(nd)
+	st.lastFrontier = int64(nd)
 }
 
 // refreshAdmissibility recomputes the per-bucket unit-weight admissibility
@@ -661,6 +724,7 @@ func (st *directState) markAllActive() {
 	for i := range st.active {
 		st.active[i] = activeRebuild
 	}
+	st.frontierValid = false // marks now cover everyone, not a frontier
 }
 
 // pairKey packs an ordered (from, to) bucket pair.
@@ -821,15 +885,28 @@ func (st *directState) applyMoves(iter int) []move {
 		probOf = st.matchSparse()
 	}
 
-	// Phase 1 (parallel): per-vertex coin decisions.
+	// Phase 1 (parallel): per-vertex coin decisions, collected into
+	// per-worker lists. par.ForWorker hands out contiguous ascending ranges
+	// in worker order, so the concatenation is globally ascending — the
+	// serial apply phase walks the list instead of re-scanning all of |D|
+	// for the set flags. Flags were cleared through the previous call's
+	// list, so no O(|D|) clear either.
 	if st.decided == nil {
 		st.decided = make([]bool, nd)
-	} else {
-		clear(st.decided)
+	}
+	if st.decWork == nil {
+		st.decWork = make([][]int32, st.workers)
+	}
+	for w := range st.decWork {
+		// Reset every buffer, not just the ones this batch engages: fewer
+		// workers may run than last time, and a stale buffer would leak old
+		// vertices into the decided list.
+		st.decWork[w] = st.decWork[w][:0]
 	}
 	decided := st.decided
 	iterKey := rng.Mix(uint64(iter)+1, 0xD0D)
-	par.For(nd, st.workers, func(start, end int) {
+	par.ForWorker(nd, st.workers, func(w, start, end int) {
+		buf := st.decWork[w]
 		for v := start; v < end; v++ {
 			tgt := st.target[v]
 			if tgt < 0 {
@@ -845,9 +922,17 @@ func (st *directState) applyMoves(iter int) []move {
 			}
 			if p >= 1 || rng.CoinAt(st.seed, rng.Mix(iterKey, uint64(v))) < p {
 				decided[v] = true
+				buf = append(buf, int32(v))
 			}
 		}
+		st.decWork[w] = buf
 	})
+	st.scanWork += int64(nd)
+	list := st.decidedList[:0]
+	for _, buf := range st.decWork {
+		list = append(list, buf...)
+	}
+	st.decidedList = list
 	// Phase 2 (serial, deterministic): apply all decided moves (so opposing
 	// flows cancel), then undo the lowest-gain arrivals of over-cap buckets
 	// until every cap holds again. Undone vertices return to their origin,
@@ -856,23 +941,29 @@ func (st *directState) applyMoves(iter int) []move {
 	// pass over the applied moves: a decided vertex's bucket only changes
 	// when it is itself undone (clearing its decided flag), so the groups
 	// stay valid for the whole trim.
-	var applied []move
-	byDst := make([][]move, st.k)
-	for v := 0; v < nd; v++ {
-		if !decided[v] {
-			continue
-		}
+	applied := st.appliedBuf[:0]
+	if st.byDst == nil {
+		st.byDst = make([][]move, st.k)
+		st.dstSorted = make([]bool, st.k)
+	}
+	for c := range st.byDst {
+		st.byDst[c] = st.byDst[c][:0]
+		st.dstSorted[c] = false
+	}
+	byDst := st.byDst
+	for _, v := range list {
 		cur := st.bucket[v]
 		tgt := st.target[v]
-		wv := int64(st.g.DataWeight(int32(v)))
+		wv := int64(st.g.DataWeight(v))
 		st.bucket[v] = tgt
 		st.bucketW[cur] -= wv
 		st.bucketW[tgt] += wv
-		m := move{int32(v), cur}
+		m := move{v, cur}
 		applied = append(applied, m)
 		byDst[tgt] = append(byDst[tgt], m)
 	}
-	sorted := make([]bool, st.k)
+	st.scanWork += int64(len(list))
+	sorted := st.dstSorted
 	for {
 		over := int32(-1)
 		for c := 0; c < st.k; c++ {
@@ -923,6 +1014,12 @@ func (st *directState) applyMoves(iter int) []move {
 			accepted = append(accepted, m)
 		}
 	}
+	// Clear the decision flags through the list (undone vertices are already
+	// false), so the next iteration starts clean without an O(|D|) clear.
+	for _, m := range accepted {
+		decided[m.v] = false
+	}
+	st.appliedBuf = applied
 	return accepted
 }
 
@@ -945,19 +1042,43 @@ func (st *directState) applyNDDeltas(accepted []move) {
 	patch := len(accepted)*sweepFallbackDiv < nd
 	ndApplyMoveBatch(st.nd, st.g, w, accepted, st.bucket, patch)
 
-	for i := range st.active {
-		st.active[i] = 0
+	// Clear the previous batch's marks through the frontier they form (the
+	// marked set IS the frontier while frontierValid); a full clear is only
+	// needed when the marks are not frontier-backed (first batch, or after a
+	// sweep fallback or external mark injection).
+	if st.frontierValid {
+		for _, v := range st.frontier {
+			st.active[v] = 0
+		}
+		st.scanWork += int64(len(st.frontier))
+	} else {
+		for i := range st.active {
+			st.active[i] = 0
+		}
+		st.scanWork += int64(len(st.active))
 	}
 	if !patch {
 		st.markAllActive()
 		return
 	}
+	if st.frontWork == nil {
+		st.frontWork = make([][]int32, w)
+	}
+	for i := range st.frontWork {
+		// Reset every buffer, not just the ones this batch engages: fewer
+		// workers may run than last time, and a stale buffer would leak old
+		// vertices into the frontier.
+		st.frontWork[i] = st.frontWork[i][:0]
+	}
 	// Parallel by vertex range: fold each dirty query's entry deltas into
 	// its members' accumulators. Member lists are sorted, so each worker
 	// binary-searches its slice of every group; exact arithmetic makes the
-	// patch order (and the range partition) irrelevant to the result.
-	par.ForWorker(nd, w, func(_, vs, ve int) {
+	// patch order (and the range partition) irrelevant to the result. The
+	// first touch of each vertex also records it in the worker's frontier
+	// buffer (vertex ranges are disjoint, so the flag read is race-free).
+	par.ForWorker(nd, w, func(pw, vs, ve int) {
 		lo32, hi32 := int32(vs), int32(ve)
+		buf := st.frontWork[pw]
 		for dw := range st.nd.delta {
 			ds := &st.nd.delta[dw]
 			for _, grp := range ds.groups {
@@ -973,17 +1094,39 @@ func (st *directState) applyNDDeltas(accepted []move) {
 						break
 					}
 					st.patchVertex(v, wq, recs)
+					if st.active[v] == 0 {
+						buf = append(buf, v)
+					}
 					st.active[v] = activeSelect
 				}
 			}
 		}
+		st.frontWork[pw] = buf
 	})
+	f := st.frontier[:0]
+	for _, buf := range st.frontWork {
+		f = append(f, buf...)
+	}
 	// Movers are rebuilt next iteration: their own bucket changed, so the
 	// cached base/acc (and any patches applied to them above) refer to the
 	// wrong frame. This overrides any activeSelect mark from the patch pass.
+	// Zero-degree movers were not collected as members of any dirty query.
 	for _, m := range accepted {
+		if st.active[m.v] == 0 {
+			f = append(f, m.v)
+		}
 		st.active[m.v] = activeRebuild
 	}
+	// Ascending order is the canonical proposal-pass order; the collected
+	// buffers interleave members of distinct dirty queries, so order them
+	// with O(|F|) counting passes (see radixSortInt32) rather than a
+	// comparison sort.
+	if cap(st.frontScratch) < len(f) {
+		st.frontScratch = make([]int32, len(f))
+	}
+	radixSortInt32(f, st.frontScratch[:cap(st.frontScratch)], int32(nd))
+	st.frontier = f
+	st.frontierValid = true
 }
 
 // patchVertex folds one dirty query's entry deltas into vertex v's cached
@@ -1077,6 +1220,7 @@ func (st *directState) refine() {
 		if iter >= st.maxIters {
 			break
 		}
+		gw0, sw0 := st.gainWork, st.scanWork
 		st.computeProposals()
 		accepted := st.applyMoves(iter)
 		if !full {
@@ -1085,6 +1229,12 @@ func (st *directState) refine() {
 		moved := int64(len(accepted))
 		st.history = append(st.history, IterStats{
 			Iter: iter, Moved: moved, MovedFraction: float64(moved) / float64(n),
+		})
+		st.work = append(st.work, WorkStats{
+			Iter:     iter,
+			Frontier: st.lastFrontier,
+			GainWork: st.gainWork - gw0,
+			ScanWork: st.scanWork - sw0,
 		})
 	}
 }
@@ -1100,5 +1250,6 @@ func partitionDirect(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		K:          opts.K,
 		Iterations: len(st.history),
 		History:    st.history,
+		Work:       st.work,
 	}, nil
 }

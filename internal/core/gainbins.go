@@ -1,0 +1,176 @@
+package core
+
+import "slices"
+
+// Maintained gain-bin buckets for the SHP-2 bisection refiner.
+//
+// The histogram protocol (pairing.go) only ever consumes per-(side, sign,
+// dyadic bin) counts and gain sums, and the exact pairing only needs each
+// side's vertices in (gain desc, id asc) order. Both views are derivable
+// from one structure: a dense vertex list per bin, kept current across
+// iterations instead of being rebuilt by an O(|D|) sweep. After an iteration
+// that moved m vertices, only the movers and the patched members of their
+// dirty queries can have a different (side, gain) — so reconciling the bins
+// costs O(frontier), and the per-iteration histogram is read off in O(bins).
+//
+// Bit-identity discipline: the incremental and the full
+// (DisableIncremental) path both maintain the structure through the same
+// canonical rule — visit candidate vertices in ascending id order, and for
+// each whose (side, gain) differs from its recorded entry, subtract the old
+// gain from its old bin's sum and add the new gain to the new bin's sum.
+// The full path discovers the changed set with a comparison scan over all
+// vertices; the incremental path walks its (sorted) frontier, which
+// provably contains every changed vertex. The surviving change sequences
+// are identical, so the maintained sums land on the same bits on both
+// paths. Bins are never resummed from scratch after the initial fill, which
+// keeps the safety-net rebuild schedule (NDRebuildEvery) invisible: a
+// rebuild reproduces every gain bit-for-bit, so the change set it induces
+// is empty.
+//
+// List order within a bin is not meaningful (only membership and the sums
+// are), which lets removal swap with the last element and lets the exact
+// pairing sort bins in place, lazily, on first touch.
+
+// binSlots is the flat slot space: 2 sides x 2 signs x histBins.
+const binSlots = 4 * histBins
+
+// gainBins is the maintained bucket structure. Vertices not yet inserted
+// (before the first sync) have slot -1.
+type gainBins struct {
+	list [binSlots][]int32
+	sum  [binSlots]float64
+
+	slot []int16   // vertex -> slot index, -1 before first insert
+	pos  []int32   // vertex -> position within its slot's list
+	rec  []float64 // vertex -> recorded gain (the value folded into sum)
+}
+
+func newGainBins(nd int) *gainBins {
+	gb := &gainBins{
+		slot: make([]int16, nd),
+		pos:  make([]int32, nd),
+		rec:  make([]float64, nd),
+	}
+	for i := range gb.slot {
+		gb.slot[i] = -1
+	}
+	return gb
+}
+
+// binSlot maps a (side, gain) pair to its slot: positive gains use the
+// side's first histBins slots, non-positive gains (keyed by |gain|, like
+// DirHist) the second.
+func binSlot(side int8, gain float64) int16 {
+	s := int(side) * 2 * histBins
+	if gain > 0 {
+		return int16(s + binFor(gain))
+	}
+	return int16(s + histBins + binFor(-gain))
+}
+
+// update reconciles one vertex with its recorded entry. Unchanged vertices
+// return without touching the sums — the filter every caller must share,
+// because re-applying an unchanged value (sum -= g; sum += g) would not be
+// a float no-op.
+func (gb *gainBins) update(v int32, side int8, gain float64) {
+	s := binSlot(side, gain)
+	old := gb.slot[v]
+	if old == s && gb.rec[v] == gain {
+		return
+	}
+	if old >= 0 {
+		gb.sum[old] -= gb.rec[v]
+		l := gb.list[old]
+		last := len(l) - 1
+		moved := l[last]
+		i := gb.pos[v]
+		l[i] = moved
+		gb.pos[moved] = i
+		gb.list[old] = l[:last]
+	}
+	gb.sum[s] += gain
+	gb.pos[v] = int32(len(gb.list[s]))
+	gb.list[s] = append(gb.list[s], v)
+	gb.slot[v] = s
+	gb.rec[v] = gain
+}
+
+// hist assembles one side's DirHist from the maintained bins: counts from
+// the list lengths, sums from the maintained per-bin totals.
+func (gb *gainBins) hist(side int) DirHist {
+	var h DirHist
+	base := side * 2 * histBins
+	for b := 0; b < histBins; b++ {
+		h.posCount[b] = int64(len(gb.list[base+b]))
+		h.posSum[b] = gb.sum[base+b]
+		h.negCount[b] = int64(len(gb.list[base+histBins+b]))
+		h.negSum[b] = gb.sum[base+histBins+b]
+	}
+	return h
+}
+
+// binCursor yields one side's vertices in exact (gain desc, id asc) order
+// by walking the side's bins best-first — positive bins from the largest
+// down, then non-positive bins from closest-to-zero down — sorting each bin
+// in place, lazily, on first touch. Bin value ranges are disjoint and
+// ordered, and equal gains always share a bin, so the concatenation of the
+// per-bin sorts is exactly the global sort the serial pairing used to
+// build; bins the greedy pairing never reaches are never sorted. work
+// counts the vertices of every sorted bin, for the scan-work accounting.
+type binCursor struct {
+	bins  *gainBins
+	gains []float64
+	base  int // the side's first slot
+	seq   int // position in best-first bin order, -1 before the first bin
+	idx   int // read position within the current bin
+	cur   []int32
+	work  int64
+}
+
+func newBinCursor(bins *gainBins, gains []float64, side int) binCursor {
+	return binCursor{bins: bins, gains: gains, base: side * 2 * histBins, seq: -1}
+}
+
+// peek returns the next vertex and its (iteration-start) gain without
+// consuming it; ok is false when the side is exhausted.
+func (c *binCursor) peek() (int32, float64, bool) {
+	for c.idx >= len(c.cur) {
+		c.seq++
+		if c.seq >= 2*histBins {
+			return -1, 0, false
+		}
+		var slot int
+		if c.seq < histBins {
+			slot = c.base + histBins - 1 - c.seq
+		} else {
+			slot = c.base + histBins + (c.seq - histBins)
+		}
+		l := c.bins.list[slot]
+		if len(l) == 0 {
+			continue
+		}
+		slices.SortFunc(l, func(x, y int32) int {
+			gx, gy := c.gains[x], c.gains[y]
+			if gx > gy {
+				return -1
+			}
+			if gx < gy {
+				return 1
+			}
+			return int(x - y)
+		})
+		// The in-place sort moved vertices within the bin; their recorded
+		// positions must follow or later swap-removes would corrupt it.
+		for i, v := range l {
+			c.bins.pos[v] = int32(i)
+		}
+		c.work += int64(len(l))
+		c.cur = l
+		c.idx = 0
+	}
+	v := c.cur[c.idx]
+	return v, c.gains[v], true
+}
+
+// advance consumes the vertex peek returned.
+func (c *binCursor) advance() { c.idx++ }

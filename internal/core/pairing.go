@@ -71,6 +71,40 @@ func (h *DirHist) Add(gain float64) {
 	}
 }
 
+// Remove retracts one previously Added proposal with the given gain — the
+// exact inverse of Add (same bin, count down, gain subtracted), which lets a
+// caller maintain a histogram across rounds from assert/retract deltas
+// instead of resumming every proposal every round. Counts may legitimately
+// go negative inside a delta histogram that will be merged into the
+// maintained one.
+func (h *DirHist) Remove(gain float64) {
+	if gain > 0 {
+		b := binFor(gain)
+		h.posCount[b]--
+		h.posSum[b] -= gain
+	} else {
+		b := binFor(-gain)
+		h.negCount[b]--
+		h.negSum[b] -= gain
+	}
+}
+
+// WireSize estimates the histogram's serialized size for aggregator byte
+// accounting: 13 bytes (sign+bin byte, count int32, sum float64) per bin
+// that carries any information.
+func (h *DirHist) WireSize() int {
+	n := 0
+	for i := 0; i < histBins; i++ {
+		if h.posCount[i] != 0 || h.posSum[i] != 0 {
+			n++
+		}
+		if h.negCount[i] != 0 || h.negSum[i] != 0 {
+			n++
+		}
+	}
+	return 13 * n
+}
+
 // merge folds another histogram into this one (for per-worker partials).
 func (h *DirHist) Merge(o *DirHist) {
 	for i := 0; i < histBins; i++ {

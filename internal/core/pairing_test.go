@@ -49,6 +49,50 @@ func TestDirHistMerge(t *testing.T) {
 	}
 }
 
+func TestDirHistRemoveInvertsAdd(t *testing.T) {
+	gains := []float64{0.5, -0.25, 0, 1e-13, 100, -3}
+	var h DirHist
+	for _, g := range gains {
+		h.Add(g)
+	}
+	if h.WireSize() == 0 {
+		t.Fatal("populated histogram reports zero wire size")
+	}
+	for _, g := range gains {
+		h.Remove(g)
+	}
+	if h.Total() != 0 {
+		t.Fatalf("total after removing every add = %d, want 0", h.Total())
+	}
+	if got := h.WireSize(); got != 0 {
+		t.Fatalf("empty histogram wire size = %d, want 0", got)
+	}
+	// Delta histograms legitimately go negative (a retract folded before the
+	// matching assert's aggregator); a later Add must restore them exactly.
+	h.Remove(0.5)
+	h.Add(0.5)
+	if h.Total() != 0 || h.WireSize() != 0 {
+		t.Fatalf("retract-then-assert left residue: total %d, wire %d", h.Total(), h.WireSize())
+	}
+}
+
+func TestDirHistWireSizePerBin(t *testing.T) {
+	var h DirHist
+	h.Add(0.5)
+	one := h.WireSize()
+	if one <= 0 {
+		t.Fatal("single-bin histogram reports non-positive wire size")
+	}
+	h.Add(0.5) // same bin: no new bin on the wire
+	if got := h.WireSize(); got != one {
+		t.Fatalf("second entry in same bin changed wire size: %d vs %d", got, one)
+	}
+	h.Add(-2) // second direction/bin
+	if got := h.WireSize(); got != 2*one {
+		t.Fatalf("two occupied bins cost %d, want %d", got, 2*one)
+	}
+}
+
 func TestOrderedBinsBestFirst(t *testing.T) {
 	var h DirHist
 	h.Add(100)

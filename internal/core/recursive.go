@@ -67,6 +67,7 @@ func partitionRecursive(g *hypergraph.Bipartite, opts Options) (*Result, error) 
 		type taskOut struct {
 			children []rtask
 			history  []IterStats
+			work     []WorkStats
 			iters    int
 		}
 		outs := make([]taskOut, len(tasks))
@@ -76,8 +77,8 @@ func partitionRecursive(g *hypergraph.Bipartite, opts Options) (*Result, error) 
 			topts := opts
 			topts.Parallelism = innerWorkers
 			seed := rng.Mix(opts.Seed, rng.Mix(uint64(level)+1, uint64(t.lo)))
-			children, hist, iters := splitTask(g, topts, t, seed, level, eps, idealPerBucket, assignment)
-			outs[ti] = taskOut{children: children, history: hist, iters: iters}
+			children, hist, work, iters := splitTask(g, topts, t, seed, level, eps, idealPerBucket, assignment)
+			outs[ti] = taskOut{children: children, history: hist, work: work, iters: iters}
 		}
 
 		workers := par.Workers(opts.Parallelism)
@@ -104,6 +105,7 @@ func partitionRecursive(g *hypergraph.Bipartite, opts Options) (*Result, error) 
 		var next []rtask
 		for ti := range outs {
 			res.History = append(res.History, outs[ti].history...)
+			res.Work = append(res.Work, outs[ti].work...)
 			res.Iterations += outs[ti].iters
 			next = append(next, outs[ti].children...)
 		}
@@ -127,7 +129,7 @@ const incrementalMinSize = 2048
 // direct refinement on the induced subproblem. Children needing further
 // splitting are returned.
 func splitTask(g *hypergraph.Bipartite, opts Options, t rtask, seed uint64,
-	level int, eps, idealPerBucket float64, assignment partition.Assignment) ([]rtask, []IterStats, int) {
+	level int, eps, idealPerBucket float64, assignment partition.Assignment) ([]rtask, []IterStats, []WorkStats, int) {
 
 	if !opts.DisableIncremental && len(t.data) < incrementalMinSize {
 		opts.DisableIncremental = true
@@ -137,14 +139,14 @@ func splitTask(g *hypergraph.Bipartite, opts Options, t rtask, seed uint64,
 		for _, d := range t.data {
 			assignment[d] = t.lo
 		}
-		return nil, nil, 0
+		return nil, nil, nil, 0
 	}
 	r := opts.Branching
 	if r > span {
 		r = span
 	}
 	if len(t.data) == 0 {
-		return nil, nil, 0
+		return nil, nil, nil, 0
 	}
 
 	sub, _ := g.InducedByData(t.data, 2)
@@ -169,7 +171,7 @@ func splitTask(g *hypergraph.Bipartite, opts Options, t rtask, seed uint64,
 		children := childTasks(assignment,
 			rtask{data: left, lo: t.lo, hi: mid},
 			rtask{data: right, lo: mid, hi: t.hi})
-		return children, b.history, len(b.history)
+		return children, b.history, b.work, len(b.history)
 	}
 
 	// r-way split via the direct refiner on the subproblem, with each child
@@ -200,7 +202,12 @@ func splitTask(g *hypergraph.Bipartite, opts Options, t rtask, seed uint64,
 		hist[i].Level = level
 		hist[i].Task = int(t.lo)
 	}
-	return children, hist, len(hist)
+	work := st.work
+	for i := range work {
+		work[i].Level = level
+		work[i].Task = int(t.lo)
+	}
+	return children, hist, work, len(hist)
 }
 
 // childTasks assigns leaf ranges immediately and returns the rest.

@@ -82,6 +82,31 @@ type bisection struct {
 	pgs            []patchGroup
 	allActive      bool
 
+	// frontier is the sorted list of vertices finishPatch marked active —
+	// exactly the vertices whose (side, gain) can have changed since the
+	// last iteration. While frontierValid, the gain pass and the bin sync
+	// walk it instead of scanning all of |D|; sweep fallbacks invalidate it
+	// (the marks then cover everyone). frontWork holds the per-worker
+	// collection buffers, frontScratch the radix-sort ping-pong buffer.
+	// Maintained only on the incremental path.
+	frontier      []int32
+	frontierValid bool
+	frontWork     [][]int32
+	frontScratch  []int32
+
+	// bins is the maintained gain-bin structure (see gainbins.go), kept on
+	// BOTH paths — the histogram sums must come from the same float
+	// operation sequence for the paths to stay bit-identical.
+	bins *gainBins
+
+	// Reusable per-iteration scratch for the probabilistic move protocol:
+	// decided flags plus the (ascending) list of decided vertices, and the
+	// trim pass's arrival buffer. All cleared through the lists they were
+	// filled from, so idle iterations never pay an O(|D|) clear.
+	decided     []bool
+	decidedList []int32
+	arrivalsBuf []int32
+
 	targetW [2]float64
 	capW    [2]float64
 
@@ -95,13 +120,20 @@ type bisection struct {
 	// gainWork counts Equation 1 work units deterministically: one per
 	// table term summed in a gain rebuild, one per delta record folded into
 	// an accumulator. workHist snapshots the running total after every
-	// iteration. Both are pure observability counters (never read by the
-	// algorithm) that let tests pin the engine's churn-proportionality
-	// without timing anything.
-	gainWork int64
-	workHist []int64
+	// iteration. scanWork counts the per-vertex visits of the phases around
+	// the gain math — the gain/sync/coin/trim loops — and scanHist mirrors
+	// workHist for it; together they pin the engine's frontier-
+	// proportionality. lastFrontier records the vertex count the most
+	// recent gain pass visited. All are pure observability counters (never
+	// read by the algorithm).
+	gainWork     int64
+	workHist     []int64
+	scanWork     int64
+	scanHist     []int64
+	lastFrontier int64
 
 	history []IterStats
+	work    []WorkStats
 }
 
 // newBisection prepares a subproblem. propLeft is the share of total weight
@@ -130,6 +162,7 @@ func newBisection(g *hypergraph.Bipartite, opts Options, seed uint64, level, tas
 	nq := g.NumQueries()
 	b.side = make([]int8, nd)
 	b.gains = make([]float64, nd)
+	b.bins = newGainBins(nd)
 	b.n[0] = make([]int32, nq)
 	b.n[1] = make([]int32, nq)
 	if !opts.DisableIncremental {
@@ -310,10 +343,32 @@ func (b *bisection) computeGains() {
 			}
 		})
 		b.gainWork += 2 * int64(b.g.NumEdges())
+		b.lastFrontier = int64(nd)
+		return
+	}
+	var work int64
+	if !b.allActive && b.frontierValid {
+		// Frontier mode: the flagged vertices are exactly the frontier, so
+		// visit only it — no O(|D|) scan to find the marks.
+		f := b.frontier
+		par.ForWorker(len(f), b.workers, func(_, start, end int) {
+			var local int64
+			for i := start; i < end; i++ {
+				v := f[i]
+				if b.active[v] == activeRebuild {
+					local += b.rebuildGain(v)
+				} else if b.active[v] == activeSelect {
+					b.deriveGain(v)
+				}
+			}
+			atomic.AddInt64(&work, local)
+		})
+		b.gainWork += work
+		b.scanWork += int64(len(f))
+		b.lastFrontier = int64(len(f))
 		return
 	}
 	all := b.allActive
-	var work int64
 	par.ForWorker(nd, b.workers, func(_, start, end int) {
 		var local int64
 		for v := start; v < end; v++ {
@@ -326,6 +381,28 @@ func (b *bisection) computeGains() {
 		atomic.AddInt64(&work, local)
 	})
 	b.gainWork += work
+	b.scanWork += int64(nd)
+	b.lastFrontier = int64(nd)
+}
+
+// syncBins reconciles the maintained gain bins with the current (side,
+// gain) state, after computeGains and before any consumer. Both paths
+// apply the same canonical changed-only update rule in ascending vertex
+// order (see gainbins.go); only how the candidate set is discovered
+// differs — comparison scan over everyone, or the frontier.
+func (b *bisection) syncBins() {
+	nd := b.g.NumData()
+	if b.active == nil || b.allActive || !b.frontierValid {
+		for v := 0; v < nd; v++ {
+			b.bins.update(int32(v), b.side[v], b.gains[v])
+		}
+		b.scanWork += int64(nd)
+		return
+	}
+	for _, v := range b.frontier {
+		b.bins.update(v, b.side[v], b.gains[v])
+	}
+	b.scanWork += int64(len(b.frontier))
 }
 
 // objective returns the subproblem's current objective value (sum over
@@ -383,6 +460,7 @@ func (b *bisection) run() []int8 {
 			b.recountNeighborData()
 			b.allActive = true
 		}
+		gw0, sw0 := b.gainWork, b.scanWork
 		b.computeGains()
 		var moved int64
 		if b.opts.Pairing == PairExact {
@@ -397,6 +475,13 @@ func (b *bisection) run() []int8 {
 			MovedFraction: float64(moved) / float64(nd),
 		})
 		b.workHist = append(b.workHist, b.gainWork)
+		b.scanHist = append(b.scanHist, b.scanWork)
+		b.work = append(b.work, WorkStats{
+			Level: b.level, Task: b.task, Iter: iter,
+			Frontier: b.lastFrontier,
+			GainWork: b.gainWork - gw0,
+			ScanWork: b.scanWork - sw0,
+		})
 		if moved == 0 || float64(moved)/float64(nd) < b.opts.MinMoveFraction {
 			break
 		}
@@ -404,72 +489,85 @@ func (b *bisection) run() []int8 {
 	return b.side
 }
 
-// applyProbabilistic runs the histogram (or S-matrix) protocol: aggregate
-// per-direction gain histograms, let the "master" compute per-bin move
-// probabilities, then move each vertex with its bin's probability using a
-// per-vertex deterministic coin.
+// applyProbabilistic runs the histogram (or S-matrix) protocol: read the
+// per-direction gain histograms off the maintained bins, let the "master"
+// compute per-bin move probabilities, then move each vertex with its bin's
+// probability using a per-vertex deterministic coin. No phase scans all of
+// |D|: the histogram costs O(bins), the coin phase visits only the bins
+// the matching granted positive probability, and the apply/trim phases
+// walk the decided list.
 func (b *bisection) applyProbabilistic(iter int) int64 {
 	nd := b.g.NumData()
-	// Per-worker histogram partials, merged in worker order (counts are
-	// order independent).
-	partials := make([][2]DirHist, b.workers)
-	par.ForWorker(nd, b.workers, func(w, start, end int) {
-		for v := start; v < end; v++ {
-			partials[w][b.side[v]].Add(b.gains[v])
-		}
-	})
-	var hist [2]DirHist
-	for i := range partials {
-		hist[0].Merge(&partials[i][0])
-		hist[1].Merge(&partials[i][1])
-	}
+	b.syncBins()
+	hist0 := b.bins.hist(0)
+	hist1 := b.bins.hist(1)
 	into1, into0 := b.extras()
 	var probs [2]ProbTable
 	if b.opts.Pairing == PairSimple {
-		probs[0], probs[1] = MatchSimple(&hist[0], &hist[1], into1, into0)
+		probs[0], probs[1] = MatchSimple(&hist0, &hist1, into1, into0)
 	} else {
-		probs[0], probs[1] = MatchHistograms(&hist[0], &hist[1], into1, into0)
+		probs[0], probs[1] = MatchHistograms(&hist0, &hist1, into1, into0)
 	}
 
-	// Phase 1 (parallel): per-vertex coin decisions.
-	decided := make([]bool, nd)
+	// Phase 1: per-vertex coin decisions, visiting only populated bins with
+	// positive move probability. The decision per vertex is exactly the old
+	// full scan's (a vertex's bin probability IS its ProbFor), so the
+	// decided set is order independent; sorting restores the canonical
+	// ascending order the apply phase requires.
+	if b.decided == nil {
+		b.decided = make([]bool, nd)
+	}
+	decided := b.decided
+	list := b.decidedList[:0]
 	iterKey := rng.Mix(uint64(iter)+1, 0xC01)
-	par.For(nd, b.workers, func(start, end int) {
-		for v := start; v < end; v++ {
-			p := probs[b.side[v]].ProbFor(b.gains[v])
-			if p <= 0 {
-				continue
-			}
-			if p >= 1 || rng.CoinAt(b.seed, rng.Mix(iterKey, uint64(v))) < p {
-				decided[v] = true
+	for side := 0; side < 2; side++ {
+		base := side * 2 * histBins
+		pt := &probs[side]
+		for sign := 0; sign < 2; sign++ {
+			for bin := 0; bin < histBins; bin++ {
+				var p float64
+				if sign == 0 {
+					p = pt.pos[bin]
+				} else {
+					p = pt.neg[bin]
+				}
+				if p <= 0 {
+					continue
+				}
+				vs := b.bins.list[base+sign*histBins+bin]
+				b.scanWork += int64(len(vs))
+				for _, v := range vs {
+					if p >= 1 || rng.CoinAt(b.seed, rng.Mix(iterKey, uint64(v))) < p {
+						decided[v] = true
+						list = append(list, v)
+					}
+				}
 			}
 		}
-	})
+	}
+	slices.Sort(list)
+	b.decidedList = list
 	// Phase 2 (serial, deterministic): apply all decided moves, then undo
 	// the lowest-gain arrivals of any side that breached its cap. Applying
 	// first lets opposing flows cancel (a swap must not deadlock on two
 	// full sides); the undo pass upgrades the paper's balance-in-
 	// expectation to a hard cap. Because total weight never exceeds
 	// capL + capR, trimming one side cannot push the other over its cap.
-	var applied []int32
-	for v := 0; v < nd; v++ {
-		if !decided[v] {
-			continue
-		}
+	for _, v := range list {
 		cur := b.side[v]
 		oth := 1 - cur
-		wv := int64(b.g.DataWeight(int32(v)))
+		wv := int64(b.g.DataWeight(v))
 		b.side[v] = oth
 		b.w[cur] -= wv
 		b.w[oth] += wv
-		applied = append(applied, int32(v))
 	}
+	b.scanWork += int64(len(list))
 	for s := int8(0); s < 2; s++ {
 		if float64(b.w[s]) <= b.capW[s] {
 			continue
 		}
-		arrivals := make([]int32, 0, len(applied))
-		for _, v := range applied {
+		arrivals := b.arrivalsBuf[:0]
+		for _, v := range list {
 			// decided[v] guards against double-undo: a vertex undone by the
 			// other side's trim pass is already back home and must not be
 			// flipped again (that would desynchronize the neighbor counts).
@@ -477,6 +575,7 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 				arrivals = append(arrivals, v)
 			}
 		}
+		b.scanWork += int64(len(list))
 		slices.SortFunc(arrivals, func(x, y int32) int {
 			gx, gy := b.gains[x], b.gains[y]
 			if gx < gy {
@@ -497,12 +596,19 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 			b.w[1-s] += wv
 			decided[v] = false // undone
 		}
+		b.arrivalsBuf = arrivals
 	}
-	accepted := applied[:0]
-	for _, v := range applied {
+	accepted := list[:0]
+	for _, v := range list {
 		if decided[v] {
 			accepted = append(accepted, v)
 		}
+	}
+	// Clear the decision flags through the list (undone vertices are
+	// already false), so the next iteration starts clean without an O(|D|)
+	// clear.
+	for _, v := range accepted {
+		decided[v] = false
 	}
 	// Phase 3: neighbor-count updates for surviving moves. Small batches on
 	// the incremental path go through the serial patch collector (counts,
@@ -531,6 +637,7 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 		for i := range b.active {
 			b.active[i] = activeRebuild
 		}
+		b.frontierValid = false
 	}
 	return int64(len(accepted))
 }
@@ -602,13 +709,35 @@ func (b *bisection) finishPatch(movers []int32) {
 	}
 	b.dirtyQ = b.dirtyQ[:0]
 
-	for i := range b.active {
-		b.active[i] = 0
+	// Clear the previous batch's marks through the frontier they form (the
+	// marked set IS the frontier while frontierValid); a full clear is only
+	// needed when the marks are not frontier-backed (first batch, or after a
+	// sweep fallback or external invalidation).
+	if b.frontierValid {
+		for _, v := range b.frontier {
+			b.active[v] = 0
+		}
+		b.scanWork += int64(len(b.frontier))
+	} else {
+		for i := range b.active {
+			b.active[i] = 0
+		}
+		b.scanWork += int64(len(b.active))
 	}
 	nd := b.g.NumData()
+	if b.frontWork == nil {
+		b.frontWork = make([][]int32, b.workers)
+	}
+	for w := range b.frontWork {
+		// Reset every buffer, not just the ones this batch engages:
+		// par.ForWorker may use fewer workers than last time, and a stale
+		// buffer would leak old vertices into the frontier.
+		b.frontWork[w] = b.frontWork[w][:0]
+	}
 	var work int64
-	par.ForWorker(nd, b.workers, func(_, vs, ve int) {
+	par.ForWorker(nd, b.workers, func(w, vs, ve int) {
 		lo32, hi32 := int32(vs), int32(ve)
+		buf := b.frontWork[w]
 		var local int64
 		for gi := range b.pgs {
 			pg := &b.pgs[gi]
@@ -621,16 +750,40 @@ func (b *bisection) finishPatch(movers []int32) {
 				c := b.side[v]
 				b.accOwn[v] += pg.own[c]
 				b.accOth[v] += pg.away[1-c]
+				if b.active[v] == 0 {
+					buf = append(buf, v)
+				}
 				b.active[v] = activeSelect
 				local += pg.nrec
 			}
 		}
+		b.frontWork[w] = buf
 		atomic.AddInt64(&work, local)
 	})
 	b.gainWork += work
+
+	f := b.frontier[:0]
+	for _, buf := range b.frontWork {
+		f = append(f, buf...)
+	}
 	for _, v := range movers {
+		// First-touch: movers of positive degree were already collected as
+		// members of their own dirty queries; zero-degree movers were not.
+		if b.active[v] == 0 {
+			f = append(f, v)
+		}
 		b.active[v] = activeRebuild
 	}
+	// Ascending order is the canonical bin-update (and gain-pass) order the
+	// bit-identity discipline requires; the collected buffers interleave
+	// members of distinct dirty queries, so order them with O(|F|) counting
+	// passes (see radixSortInt32) rather than a comparison sort.
+	if cap(b.frontScratch) < len(f) {
+		b.frontScratch = make([]int32, len(f))
+	}
+	radixSortInt32(f, b.frontScratch[:cap(b.frontScratch)], int32(nd))
+	b.frontier = f
+	b.frontierValid = true
 }
 
 // discardPatch drops a batch's collected deltas without diffing (the sweep
@@ -645,6 +798,7 @@ func (b *bisection) discardPatch() {
 	for i := range b.active {
 		b.active[i] = activeRebuild
 	}
+	b.frontierValid = false
 }
 
 // freshGain recomputes vertex v's Equation 1 gain from the current counts
@@ -700,12 +854,19 @@ func (b *bisection) moveExact(v int32) {
 }
 
 // applyExact runs the "ideal serial implementation" the paper describes as
-// the reference (Section 3.4): both proposal queues are sorted by gain and
-// paired greedily from the top. Each pair's gains are re-evaluated against
-// the current state before applying, so every applied pair strictly
-// improves the objective — this is what rules out the batch-move
-// oscillation and makes the objective monotone. One-sided positive-gain
-// extras then use the ε headroom. Fully deterministic.
+// the reference (Section 3.4): both sides' candidates are consumed in exact
+// (gain desc, id asc) order and paired greedily from the top. Each pair's
+// gains are re-evaluated against the current state before applying, so
+// every applied pair strictly improves the objective — this is what rules
+// out the batch-move oscillation and makes the objective monotone.
+// One-sided positive-gain extras then use the ε headroom. Fully
+// deterministic.
+//
+// Instead of materializing and sorting both full queues every iteration,
+// the order comes from two cursors over the maintained gain bins: bins are
+// consumed best-first and sorted in place, lazily, on first touch, so an
+// iteration that pairs only a handful of vertices sorts only the bins it
+// actually reaches.
 //
 // The batch size is only known at the end, so net deltas are always
 // collected (two int adds per transfer) and either diffed into patches or
@@ -713,36 +874,23 @@ func (b *bisection) moveExact(v int32) {
 func (b *bisection) applyExact(iter int) int64 {
 	_ = iter
 	b.lastMoved = b.lastMoved[:0] // repopulated by moveExact
-	type cand struct {
-		v    int32
-		gain float64
-	}
-	var queues [2][]cand
-	for v := 0; v < b.g.NumData(); v++ {
-		queues[b.side[v]] = append(queues[b.side[v]], cand{int32(v), b.gains[v]})
-	}
-	for s := 0; s < 2; s++ {
-		slices.SortFunc(queues[s], func(x, y cand) int {
-			if x.gain > y.gain {
-				return -1
-			}
-			if x.gain < y.gain {
-				return 1
-			}
-			return int(x.v - y.v)
-		})
-	}
+	b.syncBins()
+	cur0 := newBinCursor(b.bins, b.gains, 0)
+	cur1 := newBinCursor(b.bins, b.gains, 1)
 	var moved int64
-	i, j := 0, 0
-	for i < len(queues[0]) && j < len(queues[1]) {
-		// Stop once even the stale (optimistic upper-bound order) sums are
-		// non-positive.
-		if queues[0][i].gain+queues[1][j].gain <= 0 {
+	for {
+		u, gu0, ok0 := cur0.peek()
+		v, gv0, ok1 := cur1.peek()
+		if !ok0 || !ok1 {
 			break
 		}
-		u, v := queues[0][i].v, queues[1][j].v
-		i++
-		j++
+		// Stop once even the stale (optimistic upper-bound order) sums are
+		// non-positive.
+		if gu0+gv0 <= 0 {
+			break
+		}
+		cur0.advance()
+		cur1.advance()
 		// Both vertices may have been affected by earlier moves in this
 		// pass; re-evaluate before committing.
 		gu := b.freshGain(u)
@@ -755,22 +903,23 @@ func (b *bisection) applyExact(iter int) int64 {
 		moved += 2
 	}
 	// One-sided extras: positive-gain leftovers into the other side's
-	// remaining headroom.
+	// remaining headroom, continuing from where the pairing stopped.
 	for s := 0; s < 2; s++ {
 		oth := 1 - s
-		idx := i
+		c := &cur0
 		if s == 1 {
-			idx = j
+			c = &cur1
 		}
-		for ; idx < len(queues[s]); idx++ {
-			if queues[s][idx].gain <= 0 {
+		for {
+			v, g, ok := c.peek()
+			if !ok || g <= 0 {
 				break
 			}
-			v := queues[s][idx].v
 			wv := float64(b.g.DataWeight(v))
 			if float64(b.w[oth])+wv > b.capW[oth] {
 				break
 			}
+			c.advance()
 			if b.freshGain(v) <= 0 {
 				continue
 			}
@@ -778,6 +927,7 @@ func (b *bisection) applyExact(iter int) int64 {
 			moved++
 		}
 	}
+	b.scanWork += cur0.work + cur1.work
 	if b.active != nil {
 		if int(moved)*sweepFallbackDiv < b.g.NumData() {
 			b.finishPatch(b.lastMoved)

@@ -29,6 +29,26 @@ type IterStats struct {
 	Fanout float64
 }
 
+// WorkStats records one refinement iteration's work-counter deltas — the
+// observability companion to IterStats, kept separate so the incremental and
+// DisableIncremental paths can stay byte-identical on IterStats while
+// legitimately differing here (sublinear frontier work is the whole point).
+type WorkStats struct {
+	// Level/Task/Iter locate the iteration exactly like IterStats.
+	Level int
+	Task  int
+	Iter  int
+	// Frontier is the number of vertices the iteration's gain pass visited
+	// (|D| on the full path or after a sweep fallback).
+	Frontier int64
+	// GainWork counts Equation 1 work units: one per table term summed in a
+	// gain rebuild, one per delta record folded into an accumulator.
+	GainWork int64
+	// ScanWork counts per-vertex visits in the phases around the gain math
+	// (gain/sync/coin/trim/selection loops).
+	ScanWork int64
+}
+
 // Result is a finished partitioning.
 type Result struct {
 	// Assignment maps each data vertex to its bucket in [0, K).
@@ -40,6 +60,9 @@ type Result struct {
 	Iterations int
 	// History holds per-iteration statistics ordered by (Level, Task, Iter).
 	History []IterStats
+	// Work holds per-iteration work counters, ordered like History. Unlike
+	// History it is NOT pinned across the incremental/full paths.
+	Work []WorkStats
 	// Elapsed is the wall-clock partitioning time.
 	Elapsed time.Duration
 }

@@ -177,6 +177,7 @@ func (s *Session) Repartition() (*Result, error) {
 		st.forceSelect = true
 	}
 	st.history = st.history[:0]
+	st.work = st.work[:0]
 	st.refine()
 
 	if cap(s.assignment) < len(st.bucket) {
@@ -189,6 +190,7 @@ func (s *Session) Repartition() (*Result, error) {
 		K:          s.opts.K,
 		Iterations: len(st.history),
 		History:    append([]IterStats(nil), st.history...),
+		Work:       append([]WorkStats(nil), st.work...),
 		Elapsed:    time.Since(start),
 	}
 	s.last = res
@@ -353,6 +355,10 @@ func (s *Session) syncEngine() {
 		for v := s.engND; v < nd; v++ {
 			st.active[int32(v)] = activeRebuild
 		}
+		// Marks were injected from outside the engine's own move batches
+		// (including any repairOverCap rebuild marks above), so the marked
+		// set is no longer the last batch's frontier.
+		st.frontierValid = false
 	}
 
 	// Static per-vertex degrees of everything touched.

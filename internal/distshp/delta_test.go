@@ -326,6 +326,70 @@ func TestDistDeltaCutsLateSuperstepBytes(t *testing.T) {
 	}
 }
 
+// TestDistChangedOnlyProposalBytes asserts the proposal plane's version of
+// the tentpole claim: stable vertices neither recompute nor re-ship their
+// proposal, so once the moved fraction falls to <= 1% the proposal
+// superstep's per-iteration aggregator traffic is at least 3x below the
+// registration superstep's (which ships every vertex's histogram entry).
+// The aggregate stream itself is also pinned identical across the
+// incremental and full message planes: the retract/assert deltas key on
+// gains both paths compute bit-identically, so the same vertices change in
+// the same supersteps either way.
+func TestDistChangedOnlyProposalBytes(t *testing.T) {
+	communities, perCommunity, queries, qdeg := 4, 200, 900, 6
+	if testing.Short() {
+		communities, perCommunity, queries, qdeg = 4, 150, 700, 4
+	}
+	g := plantedGraph(t, communities, perCommunity, queries, qdeg)
+	opts := Options{K: 8, Seed: 42, Workers: 4, MinMoveFraction: 1e-9}
+	inc, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableIncremental = true
+	full, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "proposal-bytes", inc, full)
+	if inc.Stats.AggBytes == 0 {
+		t.Fatal("no aggregator traffic measured")
+	}
+	if li, lf := len(inc.Stats.PerSuperstep), len(full.Stats.PerSuperstep); li != lf {
+		t.Fatalf("superstep counts differ: %d vs %d", li, lf)
+	}
+	for s := range inc.Stats.PerSuperstep {
+		if a, b := inc.Stats.PerSuperstep[s].AggBytes, full.Stats.PerSuperstep[s].AggBytes; a != b {
+			t.Fatalf("superstep %d aggregator bytes differ between planes: %d vs %d", s, a, b)
+		}
+	}
+	// Registration supersteps (level starts) assert every vertex's proposal;
+	// late supersteps ship only the churn's retract/assert deltas.
+	var regIters int
+	var regBytes int64
+	for j, rec := range inc.History {
+		if rec.Iter != 0 {
+			continue
+		}
+		if s := 4*j + 2; s < len(inc.Stats.PerSuperstep) {
+			regIters++
+			regBytes += inc.Stats.PerSuperstep[s].AggBytes
+		}
+	}
+	lateIters, lateBytes := inc.LateProposalBytes(0.01)
+	if regIters == 0 || lateIters == 0 {
+		t.Fatalf("degenerate schedule: %d registration, %d late iterations", regIters, lateIters)
+	}
+	// Compare per-iteration averages; lateBytes may legitimately be zero
+	// (a fully stable frontier ships nothing at all).
+	if lateBytes*int64(regIters)*3 > regBytes*int64(lateIters) {
+		t.Fatalf("late proposal bytes/iter %d not 3x below registration %d",
+			lateBytes/int64(lateIters), regBytes/int64(regIters))
+	}
+	t.Logf("proposal aggregator bytes/iter: registration %d over %d iters, late %d over %d iters",
+		regBytes/int64(regIters), regIters, lateBytes/int64(lateIters), lateIters)
+}
+
 // TestDistTCPIncrementalMatchesMemory runs the incremental plane over real
 // loopback-TCP sockets with concurrent per-pair reader/writer goroutines —
 // the configuration the CI race job exercises — and pins it to the

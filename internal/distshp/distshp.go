@@ -8,8 +8,9 @@
 //	             queries, which maintain neighbor data incrementally;
 //	superstep 1: queries send each adjacent data vertex what it needs to
 //	             bring its sibling-pair gain state up to date (see below);
-//	superstep 2: data vertices compute Equation 1 move gains and propose
-//	             (direction, gain) to the master through an aggregator;
+//	superstep 2: data vertices compute Equation 1 move gains and register
+//	             (direction, gain) proposals with the master through an
+//	             aggregator — changed proposals only, see below;
 //	superstep 3: the master's per-pair histogram matching produces move
 //	             probabilities, broadcast via an aggregator; data vertices
 //	             flip their coins and move.
@@ -41,6 +42,24 @@
 //     next superstep 1 is a full rebroadcast (patching would cost more than
 //     a sweep), and every Options.RebuildEvery iterations a safety-net full
 //     rebroadcast re-derives every accumulator from the histograms.
+//
+// # The changed-only proposal plane
+//
+// Superstep 2 applies the same admissibility idea to the aggregator plane. A
+// data vertex whose accumulators saw no superstep-1 traffic and whose bucket
+// is unchanged is stable: its gain is bit-identical to what it last proposed,
+// so it neither recomputes nor ships anything. Everyone else recomputes and,
+// only if the (direction, gain) actually changed, retracts the previously
+// registered proposal and asserts the new one (plus per-bucket weight deltas
+// when the bucket changed). The master folds these assert/retract deltas into
+// persistent per-direction histograms and per-bucket weight totals, matches
+// over the persistent state each iteration, and resets it at level start —
+// where every vertex re-registers from scratch. Late supersteps therefore
+// ship proposal traffic proportional to the moving frontier, while
+// full-rebroadcast iterations (sweep fallback, RebuildEvery safety net,
+// DisableIncremental) recompute every gain — verifying the maintained
+// proposal state — but still ship only the changes, so the maintained and
+// recomputed regimes stay byte-identical.
 //
 // Options.DisableIncremental restores the full per-iteration rebroadcast:
 // every query re-sends every member's msgGain contribution each iteration.
@@ -218,6 +237,33 @@ func (r *Result) LateGainBytes(maxMovedFraction float64) (iters int, bytes int64
 	return iters, bytes
 }
 
+// LateProposalBytes sums the proposal-superstep aggregator traffic (AggBytes
+// of supersteps 4j+2) of the run's late iterations, under the same
+// late-iteration filter as LateGainBytes: iteration j's proposal superstep
+// ships the retract/assert deltas caused by iteration j-1's moves, and
+// level-start iterations are excluded because their proposal superstep
+// registers every vertex. With the changed-only proposal plane this shrinks
+// with the moving frontier instead of staying O(directions x bins).
+func (r *Result) LateProposalBytes(maxMovedFraction float64) (iters int, bytes int64) {
+	if r.Stats == nil || len(r.Assignment) == 0 {
+		return 0, 0
+	}
+	budget := maxMovedFraction * float64(len(r.Assignment))
+	for j, rec := range r.History {
+		if rec.Iter == 0 {
+			continue // level start: full proposal registration, not churn-driven
+		}
+		if float64(r.History[j-1].Moved) > budget {
+			continue
+		}
+		if s := 4*j + 2; s < len(r.Stats.PerSuperstep) {
+			iters++
+			bytes += r.Stats.PerSuperstep[s].AggBytes
+		}
+	}
+	return iters, bytes
+}
+
 // message kinds exchanged between vertices.
 type (
 	// msgBucket: data -> query, "I am now in bucket New". Queries key
@@ -315,6 +361,13 @@ type dataState struct {
 	sumCur, sumOth float64
 	// Gain for moving to the sibling bucket, derived in superstep 2.
 	gain float64
+	// The proposal currently registered on the master's persistent
+	// histograms: direction key, gain, and the level it was asserted at
+	// (propLevel != level means nothing is registered at this level yet).
+	// Superstep 2 retracts/asserts against these, shipping only changes.
+	propKey   uint64
+	propGain  float64
+	propLevel int
 }
 
 // applyDelta folds one dirty-query delta record into the vertex's persistent
@@ -441,7 +494,10 @@ type histPair struct {
 
 func newProposalAgg() pregel.Aggregator { return &proposalAgg{hists: map[uint64]*histPair{}} }
 
-// Add folds a proposal (key uint64, gain float64) packed in a [2]interface{}.
+// Add folds one proposal delta in: an assert records the gain, a retract
+// removes a previously asserted one. A worker's accumulated value is a delta
+// histogram (counts may be negative) destined for the master's persistent
+// per-direction state.
 func (a *proposalAgg) Add(v interface{}) {
 	p := v.(proposal)
 	h, ok := a.hists[p.key]
@@ -449,7 +505,11 @@ func (a *proposalAgg) Add(v interface{}) {
 		h = &histPair{}
 		a.hists[p.key] = h
 	}
-	h.hist.Add(p.gain)
+	if p.retract {
+		h.hist.Remove(p.gain)
+	} else {
+		h.hist.Add(p.gain)
+	}
 }
 
 // Merge folds another proposalAgg in.
@@ -466,9 +526,21 @@ func (a *proposalAgg) Merge(o pregel.Aggregator) {
 // Value returns the histogram map.
 func (a *proposalAgg) Value() interface{} { return a.hists }
 
+// WireSize reports what shipping this worker's accumulated proposal deltas
+// to the master would cost: an 8-byte direction key plus each delta
+// histogram's non-empty bins. Feeds pregel's AggBytes accounting.
+func (a *proposalAgg) WireSize() int {
+	n := 0
+	for _, h := range a.hists {
+		n += 8 + h.hist.WireSize()
+	}
+	return n
+}
+
 type proposal struct {
-	key  uint64
-	gain float64
+	key     uint64
+	gain    float64
+	retract bool
 }
 
 // weightAgg aggregates per-bucket weights (for the master's ε headroom).
@@ -491,6 +563,10 @@ func (a *weightAgg) Merge(o pregel.Aggregator) {
 
 // Value returns the weight map.
 func (a *weightAgg) Value() interface{} { return a.w }
+
+// WireSize reports the accumulated weight deltas' shipping cost: a 4-byte
+// bucket id plus an 8-byte weight per entry.
+func (a *weightAgg) WireSize() int { return 12 * len(a.w) }
 
 type bucketWeight struct {
 	bucket int32
@@ -543,16 +619,22 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		// ndEntries is the global live-entry total of the query histograms,
 		// maintained from per-query diffs; /numQ is the average fanout.
 		ndEntries int64
-		history   []IterRecord
+		// hists and weights are the persistent proposal-plane state: per-
+		// direction gain histograms and per-bucket weight totals, maintained
+		// from the vertices' assert/retract deltas each proposal superstep
+		// and reset at level start (where every vertex re-registers).
+		hists   map[uint64]*histPair
+		weights map[int32]int64
+		history []IterRecord
 	}
-	sched := &schedule{}
+	sched := &schedule{hists: map[uint64]*histPair{}, weights: map[int32]int64{}}
 	idealPerBucket := float64(g.TotalDataWeight()) / float64(opts.K)
 
 	vertices := make([]*pregel.Vertex, 0, numD+numQ)
 	for d := 0; d < numD; d++ {
 		vertices = append(vertices, &pregel.Vertex{
 			ID:    pregel.VertexID(d),
-			State: &dataState{d: int32(d), bucket: -1, level: -1},
+			State: &dataState{d: int32(d), bucket: -1, level: -1, propLevel: -1},
 		})
 	}
 	for q := 0; q < numQ; q++ {
@@ -578,26 +660,36 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		phase := sched.phase
 		switch phase {
 		case 2:
-			// Proposals are in: match histograms pair by pair.
-			probs := probsValue{}
-			var hists map[uint64]*histPair
+			// Proposal deltas are in: fold them into the persistent state,
+			// then match histograms pair by pair over it. Adopting an
+			// aggregator's histPair pointer for a first-seen key is safe
+			// because a retract always follows an assert of the same key, so
+			// a key absent from the persistent map can only carry asserts.
 			if v, ok := agg["proposals"]; ok {
-				hists = v.(map[uint64]*histPair)
+				for key, h := range v.(map[uint64]*histPair) {
+					if mine, exists := sched.hists[key]; exists {
+						mine.hist.Merge(&h.hist)
+					} else {
+						sched.hists[key] = h
+					}
+				}
 			}
-			var weights map[int32]int64
 			if v, ok := agg["weights"]; ok {
-				weights = v.(map[int32]int64)
+				for b, w := range v.(map[int32]int64) {
+					sched.weights[b] += w
+				}
 			}
+			probs := probsValue{}
 			eps := opts.Epsilon * float64(sched.level+1) / float64(levels)
 			t := opts.K >> (sched.level + 1)
 			cap0 := idealPerBucket * float64(t) * (1 + eps)
 			var empty histPair
-			for key, h := range hists {
+			for key, h := range sched.hists {
 				if _, done := probs[key]; done {
 					continue
 				}
 				rkey := key ^ 1 // opposite direction of the same pair
-				rh := hists[rkey]
+				rh := sched.hists[rkey]
 				if rh == nil {
 					rh = &empty
 				}
@@ -608,13 +700,11 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 				dstB := int32(uint32(key))
 				extraA := int64(0)
 				extraB := int64(0)
-				if weights != nil {
-					if head := cap0 - float64(weights[dstA]); head > 0 {
-						extraA = int64(head * 0.9)
-					}
-					if head := cap0 - float64(weights[dstB]); head > 0 {
-						extraB = int64(head * 0.9)
-					}
+				if head := cap0 - float64(sched.weights[dstA]); head > 0 {
+					extraA = int64(head * 0.9)
+				}
+				if head := cap0 - float64(sched.weights[dstB]); head > 0 {
+					extraB = int64(head * 0.9)
 				}
 				pa, pb := core.MatchHistograms(&h.hist, &rh.hist, extraA, extraB)
 				probs[key] = &pa
@@ -655,8 +745,11 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 				sched.level++
 				sched.iter = 0
 				// Level start re-registers every vertex, which already forces
-				// full gain contributions everywhere.
+				// full gain contributions everywhere. The proposal plane
+				// re-registers from scratch too: drop the persistent state.
 				sched.rebuildNext = false
+				sched.hists = map[uint64]*histPair{}
+				sched.weights = map[int32]int64{}
 				if sched.level >= levels {
 					return true, nil
 				}
@@ -774,10 +867,22 @@ func computeData(ctx *pregel.Context, g *hypergraph.Bipartite, st *dataState,
 		// Queries act; data idles.
 	case 2:
 		// Bring the persistent Equation 1 accumulators up to date and
-		// propose the gain for moving to the sibling bucket. msgGain means
-		// "resum from scratch" (movers and rebroadcast iterations — every
-		// adjacent query sent a contribution); msgDelta patches in place.
-		// The protocol never mixes the two for one vertex in one superstep.
+		// register the gain for moving to the sibling bucket with the master.
+		// msgGain means "resum from scratch" (movers and rebroadcast
+		// iterations — every adjacent query sent a contribution); msgDelta
+		// patches in place. The protocol never mixes the two for one vertex
+		// in one superstep.
+		//
+		// Admissibility gate: no superstep-1 traffic and an unchanged bucket
+		// mean the accumulators — and so the gain — are bit-identical to the
+		// registered proposal. Stable vertices neither recompute nor ship,
+		// so late supersteps cost only the moving frontier on this plane.
+		// (The bucket check catches zero-degree movers, whose bucket flips
+		// without any message traffic.)
+		key := directionKey(st.bucket)
+		if len(msgs) == 0 && st.propLevel == level && key == st.propKey {
+			return
+		}
 		tb := tables[level]
 		sumCur, sumOth := 0.0, 0.0
 		gains, deltas := 0, 0
@@ -805,8 +910,26 @@ func computeData(ctx *pregel.Context, g *hypergraph.Bipartite, st *dataState,
 			st.sumCur, st.sumOth = sumCur, sumOth
 		}
 		st.gain = tb.Mult() * (st.sumCur - st.sumOth)
-		ctx.Aggregate("proposals", proposal{key: directionKey(st.bucket), gain: st.gain})
-		ctx.Aggregate("weights", bucketWeight{bucket: st.bucket, weight: int64(g.DataWeight(st.d))})
+		if st.propLevel == level {
+			if key == st.propKey && st.gain == st.propGain {
+				// Recomputed (rebroadcast verification) but unchanged:
+				// nothing to ship. Keeps the maintained and full-rebroadcast
+				// regimes' aggregate streams identical.
+				return
+			}
+			// Retract the registered proposal; on a bucket change, move the
+			// vertex's weight between the buckets' persistent totals.
+			ctx.Aggregate("proposals", proposal{key: st.propKey, gain: st.propGain, retract: true})
+			if oldB := int32(uint32(st.propKey)); oldB != st.bucket {
+				ctx.Aggregate("weights", bucketWeight{bucket: oldB, weight: -int64(g.DataWeight(st.d))})
+				ctx.Aggregate("weights", bucketWeight{bucket: st.bucket, weight: int64(g.DataWeight(st.d))})
+			}
+		} else {
+			// First proposal of the level: register the full weight.
+			ctx.Aggregate("weights", bucketWeight{bucket: st.bucket, weight: int64(g.DataWeight(st.d))})
+		}
+		ctx.Aggregate("proposals", proposal{key: key, gain: st.gain})
+		st.propKey, st.propGain, st.propLevel = key, st.gain, level
 	case 3:
 		// Read the master's probabilities and maybe move.
 		var probs probsValue

@@ -201,6 +201,12 @@ func (e *Engine) Run() (*Stats, error) {
 		merged := map[string]Aggregator{}
 		for _, w := range e.workers {
 			for name, agg := range w.aggregators {
+				// Aggregator wire accounting: what each worker's accumulated
+				// value would cost to ship to the master, summed before the
+				// in-process merge collapses it.
+				if ws, ok := agg.(WireSizer); ok {
+					ss.AggBytes += int64(ws.WireSize())
+				}
 				if m, ok := merged[name]; ok {
 					m.Merge(agg)
 				} else {
@@ -219,6 +225,7 @@ func (e *Engine) Run() (*Stats, error) {
 		e.stats.TotalMessages += ss.MessagesSent
 		e.stats.RemoteMessages += ss.RemoteMessages
 		e.stats.TotalBytes += ss.BytesSent
+		e.stats.AggBytes += ss.AggBytes
 
 		if e.opts.Master != nil {
 			halt, set := e.opts.Master(step, e.aggregated)

@@ -113,6 +113,16 @@ type AggregatorDef struct {
 	New func() Aggregator
 }
 
+// WireSizer is optionally implemented by aggregators to report what their
+// accumulated value would cost to ship from a worker to the master. The
+// engine sums it over all worker aggregators at each barrier into
+// SuperstepStats.AggBytes; aggregators that do not implement it count zero.
+// Kept separate from BytesSent (the vertex-message transport plane) so the
+// two planes' communication claims stay independently measurable.
+type WireSizer interface {
+	WireSize() int
+}
+
 // ComputeFunc runs one vertex for one superstep.
 type ComputeFunc func(ctx *Context, v *Vertex, messages []Message)
 
@@ -127,11 +137,16 @@ type MasterFunc func(superstep int, aggregated map[string]interface{}) (halt boo
 // accounting: real frame bytes on the TCP backend, codec-measured (or
 // MessageBytes-estimated) sizes on the in-process backend.
 type SuperstepStats struct {
-	Superstep       int
-	ActiveVertices  int
-	MessagesSent    int64
-	RemoteMessages  int64
-	BytesSent       int64
+	Superstep      int
+	ActiveVertices int
+	MessagesSent   int64
+	RemoteMessages int64
+	BytesSent      int64
+	// AggBytes is the worker->master aggregator traffic of the superstep, as
+	// reported by aggregators implementing WireSizer (0 otherwise). Not
+	// included in BytesSent: aggregators are merged in-process at the
+	// barrier, not shipped through the transport.
+	AggBytes        int64
 	MaxWorkerActive int // busiest worker's active vertex count (load balance)
 }
 
@@ -141,6 +156,7 @@ type Stats struct {
 	TotalMessages  int64
 	RemoteMessages int64
 	TotalBytes     int64
+	AggBytes       int64
 	PerSuperstep   []SuperstepStats
 }
 
@@ -164,6 +180,7 @@ func (s *Stats) PhaseTotals(period int) []SuperstepStats {
 		t.MessagesSent += ss.MessagesSent
 		t.RemoteMessages += ss.RemoteMessages
 		t.BytesSent += ss.BytesSent
+		t.AggBytes += ss.AggBytes
 		if ss.ActiveVertices > t.ActiveVertices {
 			t.ActiveVertices = ss.ActiveVertices
 		}

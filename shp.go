@@ -125,6 +125,12 @@ type Result = core.Result
 // IterStats records one refinement iteration.
 type IterStats = core.IterStats
 
+// WorkStats records one refinement iteration's work counters: the frontier
+// the gain pass visited and the gain/scan work units spent. Unlike History,
+// Work is not pinned across the incremental and DisableIncremental paths —
+// sublinear frontier work on the incremental engine is the whole point.
+type WorkStats = core.WorkStats
+
 // Objective selects the optimization target.
 type Objective = core.Objective
 
