@@ -7,7 +7,8 @@
 //	    [-p 0.5] [-eps 0.05] [-direct] [-objective pfanout|fanout|cliquenet]
 //	    [-iters N] [-seed S] [-workers W] [-warm previous.txt] [-penalty X]
 //	    [-no-incremental] [-v] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	    [-distributed [-transport memory|tcp] [-no-combine]]
+//	    [-distributed [-transport memory|tcp] [-no-combine]
+//	     [-checkpoint-dir dir] [-checkpoint-every N] [-fault kill:worker=2,step=9]]
 //	    [-stream trace.txt -prune=false]
 //
 // -no-incremental applies to both engines: in-process it ablates the
@@ -35,6 +36,12 @@
 // (the paper's Giraph mode); -transport selects the message plane between
 // the in-process exchange and a loopback TCP backend with real framing and
 // serialization, and the engine's traffic accounting is reported.
+// Distributed runs checkpoint every -checkpoint-every supersteps (default
+// 64) so a worker failure rolls back and replays instead of failing the
+// job; -checkpoint-dir persists snapshots to disk, and -fault injects
+// deterministic failures (a worker kill, frame drops, or exchange delays)
+// to exercise the recovery path — with -v the resilience counters
+// (recoveries, retried frames, checkpoint bytes) are printed.
 package main
 
 import (
@@ -43,6 +50,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"shp"
@@ -79,6 +88,9 @@ func run() error {
 		transport = flag.String("transport", "memory", "distributed message plane: memory or tcp")
 		noCombine = flag.Bool("no-combine", false, "disable sender-side message combining (distributed only)")
 		stream    = flag.String("stream", "", "delta trace file to replay through a live partitioner session")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist distributed checkpoints to this directory (default: in-memory store)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "distributed checkpoint cadence in supersteps (0 = default 64)")
+		fault     = flag.String("fault", "", "inject faults into the distributed transport, e.g. kill:worker=2,step=9 or drop:every=7")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -142,7 +154,11 @@ func run() error {
 	}()
 
 	if *dist {
-		return runDistributed(g, *k, *p, *eps, *iters, *seed, *workers, *transport, *noCombine, *noInc, *outPath)
+		return runDistributed(g, *k, *p, *eps, *iters, *seed, *workers, *transport, *noCombine, *noInc,
+			*ckptDir, *ckptEvery, *fault, *verbose, *outPath)
+	}
+	if *ckptDir != "" || *ckptEvery != 0 || *fault != "" {
+		return fmt.Errorf("-checkpoint-dir, -checkpoint-every, and -fault require -distributed")
 	}
 
 	opts := shp.Options{
@@ -227,6 +243,52 @@ func printWork(res *shp.Result) {
 	}
 }
 
+// parseFaultPlan parses a -fault spec into a deterministic injection plan.
+// Forms: "kill:worker=W,step=S" kills worker W's exchange at superstep S
+// (S >= 1); "drop:every=N" drops the first attempt of every N-th exchange
+// (a transient fault, absorbed by retries); "delay:every=N,ms=M" sleeps M
+// milliseconds before every N-th exchange.
+func parseFaultPlan(spec string) (shp.FaultPlan, error) {
+	var plan shp.FaultPlan
+	kind, rest, _ := strings.Cut(spec, ":")
+	fields := map[string]int{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return plan, fmt.Errorf("bad -fault field %q (want key=value)", kv)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return plan, fmt.Errorf("bad -fault value %q: %v", kv, err)
+			}
+			fields[key] = n
+		}
+	}
+	switch kind {
+	case "kill":
+		plan.KillWorker = fields["worker"]
+		plan.KillStep = fields["step"]
+		if plan.KillStep < 1 {
+			return plan, fmt.Errorf("-fault kill needs step>=1 (got %q)", spec)
+		}
+	case "drop":
+		plan.DropEvery = fields["every"]
+		if plan.DropEvery < 1 {
+			return plan, fmt.Errorf("-fault drop needs every>=1 (got %q)", spec)
+		}
+	case "delay":
+		plan.DelayEvery = fields["every"]
+		plan.Delay = time.Duration(fields["ms"]) * time.Millisecond
+		if plan.DelayEvery < 1 {
+			return plan, fmt.Errorf("-fault delay needs every>=1 (got %q)", spec)
+		}
+	default:
+		return plan, fmt.Errorf("unknown -fault kind %q (want kill, drop, or delay)", kind)
+	}
+	return plan, nil
+}
+
 // runStream replays a delta trace through a live Partitioner session: one
 // initial partition, then per batch an Apply + Repartition with wall time,
 // shard churn (records that moved), and the fanout trajectory reported.
@@ -298,12 +360,20 @@ func runStream(g *shp.Hypergraph, opts shp.Options, tracePath, outPath string) e
 // dirty-query delta plane (-no-incremental ablates it back to full
 // per-iteration gain rebroadcasts).
 func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed uint64,
-	workers int, transport string, noCombine, noInc bool, outPath string) error {
+	workers int, transport string, noCombine, noInc bool,
+	ckptDir string, ckptEvery int, fault string, verbose bool, outPath string) error {
 
 	opts := shp.DistributedOptions{
 		K: k, P: p, Epsilon: eps, ItersPerLevel: iters,
 		Seed: seed, Workers: workers, DisableCombining: noCombine,
-		DisableIncremental: noInc,
+		DisableIncremental: noInc, CheckpointEvery: ckptEvery,
+	}
+	if ckptDir != "" {
+		cp, err := shp.NewDiskCheckpointer(ckptDir)
+		if err != nil {
+			return err
+		}
+		opts.Checkpointer = cp
 	}
 	switch transport {
 	case "memory":
@@ -312,6 +382,13 @@ func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed ui
 		opts.Transport = shp.TCPTransport()
 	default:
 		return fmt.Errorf("unknown transport %q (want memory or tcp)", transport)
+	}
+	if fault != "" {
+		plan, err := parseFaultPlan(fault)
+		if err != nil {
+			return err
+		}
+		opts.Transport = shp.FaultyTransport(opts.Transport, plan)
 	}
 	before := shp.Measure(g, shp.RandomAssignment(g.NumData(), k, seed), k, p)
 	res, err := shp.PartitionDistributed(g, opts)
@@ -341,6 +418,10 @@ func runDistributed(g *shp.Hypergraph, k int, p, eps float64, iters int, seed ui
 	lateP, lateAgg := res.LateProposalBytes(0.01)
 	fmt.Fprintf(os.Stderr, "proposals: %.1f KB aggregator traffic total; %d late iterations shipped %.1f KB of retract/assert deltas\n",
 		float64(res.Stats.AggBytes)/(1<<10), lateP, float64(lateAgg)/(1<<10))
+	if verbose {
+		fmt.Fprintf(os.Stderr, "resilience: %d recoveries, %d retried frames, %.1f KB of checkpoint snapshots\n",
+			res.Stats.Recoveries, res.Stats.RetriedFrames, float64(res.Stats.CheckpointBytes)/(1<<10))
+	}
 
 	out := os.Stdout
 	if outPath != "" {

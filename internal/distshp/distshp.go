@@ -134,6 +134,20 @@ type Options struct {
 	// maintenance bug). 0 means the default of 64 (mirroring the in-process
 	// engine's NDRebuildEvery); negative disables the safety net.
 	RebuildEvery int
+	// Checkpointer stores superstep snapshots for worker-failure recovery
+	// (nil means an in-process store, pregel.NewMemoryCheckpointer; use
+	// pregel.NewDiskCheckpointer to survive process death). Snapshots cover
+	// vertex state — including the persistent dyadic-grid accumulators —
+	// pending inboxes, aggregated values, and the master's persistent
+	// histograms, so a recovered run resumes the incremental protocol
+	// without a rebroadcast and finishes byte-identical to an undisturbed
+	// one.
+	Checkpointer pregel.Checkpointer
+	// CheckpointEvery is the snapshot cadence in supersteps (default 64).
+	CheckpointEvery int
+	// DisableCheckpointing turns the checkpoint plane off entirely
+	// (ablation: any worker failure then aborts the run).
+	DisableCheckpointing bool
 }
 
 func (o Options) withDefaults() Options {
@@ -606,27 +620,8 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		tables[l] = core.NewPFanoutTables(opts.P, t, maxN)
 	}
 
-	// Master-side schedule state.
-	type schedule struct {
-		level      int
-		iter       int
-		phase      int // which of the 4 supersteps comes next
-		iterations int
-		// rebuildNext schedules a full superstep-1 gain rebroadcast for the
-		// next iteration (sweep fallback / safety net of the incremental
-		// plane).
-		rebuildNext bool
-		// ndEntries is the global live-entry total of the query histograms,
-		// maintained from per-query diffs; /numQ is the average fanout.
-		ndEntries int64
-		// hists and weights are the persistent proposal-plane state: per-
-		// direction gain histograms and per-bucket weight totals, maintained
-		// from the vertices' assert/retract deltas each proposal superstep
-		// and reset at level start (where every vertex re-registers).
-		hists   map[uint64]*histPair
-		weights map[int32]int64
-		history []IterRecord
-	}
+	// Master-side schedule state (package-level type so the checkpoint
+	// plane can snapshot and restore it; see snapshot.go).
 	sched := &schedule{hists: map[uint64]*histPair{}, weights: map[int32]int64{}}
 	idealPerBucket := float64(g.TotalDataWeight()) / float64(opts.K)
 
@@ -792,6 +787,16 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 	}
 	if !opts.DisableCombining {
 		engOpts.Combiner = combine
+	}
+	if !opts.DisableCheckpointing {
+		engOpts.Checkpointer = opts.Checkpointer
+		if engOpts.Checkpointer == nil {
+			engOpts.Checkpointer = pregel.NewMemoryCheckpointer()
+		}
+		engOpts.CheckpointEvery = opts.CheckpointEvery
+		engOpts.Snapshots = newSnapshotRegistry()
+		engOpts.MasterSnapshot = func() []byte { return sched.appendBinary(nil) }
+		engOpts.MasterRestore = sched.restoreBinary
 	}
 	eng, err := pregel.NewEngine(engOpts, vertices)
 	if err != nil {

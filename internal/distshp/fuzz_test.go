@@ -9,6 +9,9 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"shp/internal/core"
+	"shp/internal/pregel"
 )
 
 func FuzzDeltaCodec(f *testing.F) {
@@ -41,6 +44,69 @@ func FuzzDeltaCodec(f *testing.F) {
 		}
 		if (deltaCodec{}).Size(m) != len(re) {
 			t.Fatalf("Size %d != encoded %d", (deltaCodec{}).Size(m), len(re))
+		}
+	})
+}
+
+// FuzzCheckpointCodec drives the checkpoint vertex-state codecs with
+// arbitrary bytes: Decode must reject hostile input without panicking or
+// over-allocating, and any accepted value must round-trip stably through
+// Append/Decode (raw bytes may use overlong varints, so the comparison is
+// value-level, like FuzzDeltaBatchCodec).
+func FuzzCheckpointCodec(f *testing.F) {
+	ds, _ := (dataStateCodec{}).Append(nil, &dataState{
+		d: 7, bucket: 3, moved: true, level: 2,
+		sumCur: 1.5, sumOth: -0.25, gain: 0.125,
+		propKey: 11, propGain: 0.5, propLevel: 2,
+	})
+	qsReg, _ := (queryStateCodec{}).Append(nil, &queryState{
+		q: 4, level: 1,
+		ent:          []core.NDEntry{{B: 0, C: 2}, {B: 3, C: 1}},
+		memberBucket: []int32{0, 3, 3},
+		prevLen:      2,
+	})
+	qsNil, _ := (queryStateCodec{}).Append(nil, &queryState{q: 9, memberBucket: nil})
+	f.Add(true, ds)
+	f.Add(false, qsReg)
+	f.Add(false, qsNil)
+	f.Add(true, []byte{})
+	f.Add(false, []byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 1}) // absurd count
+	f.Fuzz(func(t *testing.T, isData bool, data []byte) {
+		var codec pregel.Codec
+		if isData {
+			codec = dataStateCodec{}
+		} else {
+			codec = queryStateCodec{}
+		}
+		m, used, err := codec.Decode(data)
+		if err != nil {
+			return // rejected; nothing to check beyond not panicking
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		re, err := codec.Append(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if codec.Size(m) != len(re) {
+			t.Fatalf("Size %d != encoded %d", codec.Size(m), len(re))
+		}
+		m2, used2, err := codec.Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if used2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", used2, len(re))
+		}
+		// Compare encodings, not values: floats may carry NaN payloads that
+		// defeat DeepEqual while round-tripping bit-exactly.
+		re2, err := codec.Append(nil, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re2, re) {
+			t.Fatalf("unstable canonical encoding: %x vs %x", re2, re)
 		}
 	})
 }

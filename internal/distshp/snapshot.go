@@ -1,0 +1,499 @@
+package distshp
+
+// Snapshot codecs for the fault-tolerance plane: everything a distributed
+// run holds across a superstep barrier — per-vertex dataState/queryState
+// (including the persistent dyadic-grid accumulators), the aggregated
+// values the master broadcast (probability tables, level/iter counters),
+// and the master's own schedule closure (persistent DirHist histograms,
+// bucket weights, iteration history) — encodes through these, so a recovery
+// resumes the *incremental* protocol exactly where the checkpoint left it:
+// no rebroadcast, no resummation, byte-identical continuation.
+//
+// Every encoding here is canonical (map keys sorted, struct fields in
+// declaration order), so equal states produce byte-identical snapshots —
+// the property FuzzCheckpointCodec and the restore-equality tests pin.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"shp/internal/core"
+	"shp/internal/pregel"
+)
+
+// schedule is the master's cross-superstep state. It lives outside the
+// aggregator plane (a closure over Partition's master function), so recovery
+// needs its own snapshot/restore: rolling back vertices without rolling back
+// the persistent histograms would desynchronize the proposal plane.
+type schedule struct {
+	level      int
+	iter       int
+	phase      int // which of the 4 supersteps comes next
+	iterations int
+	// rebuildNext schedules a full superstep-1 gain rebroadcast for the
+	// next iteration (sweep fallback / safety net of the incremental
+	// plane).
+	rebuildNext bool
+	// ndEntries is the global live-entry total of the query histograms,
+	// maintained from per-query diffs; /numQ is the average fanout.
+	ndEntries int64
+	// hists and weights are the persistent proposal-plane state: per-
+	// direction gain histograms and per-bucket weight totals, maintained
+	// from the vertices' assert/retract deltas each proposal superstep
+	// and reset at level start (where every vertex re-registers).
+	hists   map[uint64]*histPair
+	weights map[int32]int64
+	history []IterRecord
+}
+
+// appendBinary encodes the schedule canonically onto buf.
+func (s *schedule) appendBinary(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(s.level))
+	buf = binary.AppendVarint(buf, int64(s.iter))
+	buf = binary.AppendVarint(buf, int64(s.phase))
+	buf = binary.AppendVarint(buf, int64(s.iterations))
+	if s.rebuildNext {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendVarint(buf, s.ndEntries)
+	buf = appendHistMap(buf, s.hists)
+	buf = appendWeightMap(buf, s.weights)
+	buf = binary.AppendUvarint(buf, uint64(len(s.history)))
+	for _, rec := range s.history {
+		buf = binary.AppendVarint(buf, int64(rec.Level))
+		buf = binary.AppendVarint(buf, int64(rec.Iter))
+		buf = binary.AppendVarint(buf, rec.Moved)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Fanout))
+	}
+	return buf
+}
+
+// restoreBinary replaces the schedule's state with a decoded snapshot. The
+// maps are rebuilt fresh — the master adopts histPair pointers out of
+// aggregator values, so restored state must never alias a live aggregate.
+func (s *schedule) restoreBinary(data []byte) error {
+	d := &decoder{data: data}
+	s.level = int(d.varint())
+	s.iter = int(d.varint())
+	s.phase = int(d.varint())
+	s.iterations = int(d.varint())
+	s.rebuildNext = d.byte() != 0
+	s.ndEntries = d.varint()
+	s.hists = d.histMap()
+	s.weights = d.weightMap()
+	n := d.uvarint()
+	if n > uint64(len(d.data)) { // each record is >= 11 bytes
+		return fmt.Errorf("distshp: schedule snapshot: history count %d exceeds payload", n)
+	}
+	s.history = make([]IterRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rec := IterRecord{
+			Level: int(d.varint()),
+			Iter:  int(d.varint()),
+			Moved: d.varint(),
+		}
+		rec.Fanout = math.Float64frombits(d.u64())
+		s.history = append(s.history, rec)
+	}
+	if d.err != nil {
+		return fmt.Errorf("distshp: schedule snapshot: %w", d.err)
+	}
+	if len(d.data) != 0 {
+		return fmt.Errorf("distshp: schedule snapshot: %d trailing bytes", len(d.data))
+	}
+	return nil
+}
+
+// decoder is a cursor over snapshot bytes with sticky error handling, so
+// decode paths read linearly instead of threading errors through every call.
+type decoder struct {
+	data []byte
+	err  error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s", msg)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.data[0]
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data)
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *decoder) histMap() map[uint64]*histPair {
+	n := d.uvarint()
+	if n > uint64(len(d.data)) { // each entry is >= 2 bytes
+		d.fail("histogram map count exceeds payload")
+		return nil
+	}
+	m := make(map[uint64]*histPair, n)
+	for i := uint64(0); i < n; i++ {
+		key := d.uvarint()
+		if d.err != nil {
+			return m
+		}
+		h, used, err := core.DecodeDirHist(d.data)
+		if err != nil {
+			d.err = err
+			return m
+		}
+		d.data = d.data[used:]
+		m[key] = &histPair{hist: h}
+	}
+	return m
+}
+
+func (d *decoder) weightMap() map[int32]int64 {
+	n := d.uvarint()
+	if n > uint64(len(d.data)) { // each entry is >= 2 bytes
+		d.fail("weight map count exceeds payload")
+		return nil
+	}
+	m := make(map[int32]int64, n)
+	for i := uint64(0); i < n; i++ {
+		b := int32(d.varint())
+		m[b] = d.varint()
+	}
+	return m
+}
+
+func appendHistMap(buf []byte, m map[uint64]*histPair) []byte {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, k)
+		buf = m[k].hist.AppendBinary(buf)
+	}
+	return buf
+}
+
+func appendWeightMap(buf []byte, m map[int32]int64) []byte {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for _, k := range keys {
+		buf = binary.AppendVarint(buf, int64(k))
+		buf = binary.AppendVarint(buf, m[k])
+	}
+	return buf
+}
+
+// --- vertex-state codecs ---
+
+type dataStateCodec struct{}
+
+func (dataStateCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	st := m.(*dataState)
+	buf = binary.AppendVarint(buf, int64(st.d))
+	buf = binary.AppendVarint(buf, int64(st.bucket))
+	if st.moved {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendVarint(buf, int64(st.level))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.sumCur))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.sumOth))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.gain))
+	buf = binary.AppendUvarint(buf, st.propKey)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.propGain))
+	buf = binary.AppendVarint(buf, int64(st.propLevel))
+	return buf, nil
+}
+
+func (dataStateCodec) Decode(data []byte) (pregel.Message, int, error) {
+	d := &decoder{data: data}
+	st := &dataState{}
+	st.d = int32(d.varint())
+	st.bucket = int32(d.varint())
+	st.moved = d.byte() != 0
+	st.level = int(d.varint())
+	st.sumCur = math.Float64frombits(d.u64())
+	st.sumOth = math.Float64frombits(d.u64())
+	st.gain = math.Float64frombits(d.u64())
+	st.propKey = d.uvarint()
+	st.propGain = math.Float64frombits(d.u64())
+	st.propLevel = int(d.varint())
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("distshp: dataState snapshot: %w", d.err)
+	}
+	return st, len(data) - len(d.data), nil
+}
+
+func (c dataStateCodec) Size(m pregel.Message) int {
+	buf, _ := c.Append(nil, m)
+	return len(buf)
+}
+
+type queryStateCodec struct{}
+
+// Append encodes the query's durable state. The per-superstep scratch
+// (snapshot segment, mover flags, diff buffers) is logically empty at every
+// barrier — resetSuperstep runs before the superstep ends on every path — so
+// it is omitted and reallocated on restore.
+func (queryStateCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	st := m.(*queryState)
+	buf = binary.AppendVarint(buf, int64(st.q))
+	buf = binary.AppendVarint(buf, int64(st.level))
+	buf = binary.AppendUvarint(buf, uint64(len(st.ent)))
+	for _, e := range st.ent {
+		buf = binary.AppendVarint(buf, int64(e.B))
+		buf = binary.AppendVarint(buf, int64(e.C))
+	}
+	// memberBucket nil (never registered) and empty (registered, zero
+	// degree) differ: register() only allocates when nil.
+	if st.memberBucket == nil {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(len(st.memberBucket))+1)
+		for _, b := range st.memberBucket {
+			buf = binary.AppendVarint(buf, int64(b))
+		}
+	}
+	buf = binary.AppendVarint(buf, int64(st.prevLen))
+	return buf, nil
+}
+
+func (queryStateCodec) Decode(data []byte) (pregel.Message, int, error) {
+	d := &decoder{data: data}
+	st := &queryState{}
+	st.q = int32(d.varint())
+	st.level = int(d.varint())
+	nEnt := d.uvarint()
+	if nEnt > uint64(len(d.data)) { // each entry is >= 2 bytes
+		d.fail("neighbor-data count exceeds payload")
+	}
+	if d.err == nil && nEnt > 0 {
+		st.ent = make([]core.NDEntry, 0, nEnt)
+		for i := uint64(0); i < nEnt; i++ {
+			st.ent = append(st.ent, core.NDEntry{B: int32(d.varint()), C: int32(d.varint())})
+		}
+	}
+	nMB := d.uvarint()
+	if nMB > uint64(len(d.data))+1 { // each member bucket is >= 1 byte
+		d.fail("member registry count exceeds payload")
+	}
+	if d.err == nil && nMB > 0 {
+		degree := int(nMB - 1)
+		st.memberBucket = make([]int32, degree)
+		for i := 0; i < degree; i++ {
+			st.memberBucket[i] = int32(d.varint())
+		}
+		// applyUpdate indexes moved by member position whenever the
+		// registry exists, so it must be re-allocated alongside.
+		st.moved = make([]bool, degree)
+	}
+	st.prevLen = int32(d.varint())
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("distshp: queryState snapshot: %w", d.err)
+	}
+	return st, len(data) - len(d.data), nil
+}
+
+func (c queryStateCodec) Size(m pregel.Message) int {
+	buf, _ := c.Append(nil, m)
+	return len(buf)
+}
+
+// --- aggregated-value codecs ---
+
+type intCodec struct{}
+
+func (intCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	return binary.AppendVarint(buf, int64(m.(int))), nil
+}
+
+func (intCodec) Decode(data []byte) (pregel.Message, int, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("distshp: truncated int")
+	}
+	return int(v), n, nil
+}
+
+func (c intCodec) Size(m pregel.Message) int {
+	buf, _ := c.Append(nil, m)
+	return len(buf)
+}
+
+type boolCodec struct{}
+
+func (boolCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	if m.(bool) {
+		return append(buf, 1), nil
+	}
+	return append(buf, 0), nil
+}
+
+func (boolCodec) Decode(data []byte) (pregel.Message, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("distshp: truncated bool")
+	}
+	return data[0] != 0, 1, nil
+}
+
+func (boolCodec) Size(pregel.Message) int { return 1 }
+
+type probsCodec struct{}
+
+func (probsCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	probs := m.(probsValue)
+	keys := make([]uint64, 0, len(probs))
+	for k := range probs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, k)
+		buf = probs[k].AppendBinary(buf)
+	}
+	return buf, nil
+}
+
+func (probsCodec) Decode(data []byte) (pregel.Message, int, error) {
+	d := &decoder{data: data}
+	n := d.uvarint()
+	if n > uint64(len(d.data)) { // each entry is >= 2 bytes
+		return nil, 0, fmt.Errorf("distshp: probs snapshot: count %d exceeds payload", n)
+	}
+	probs := make(probsValue, n)
+	for i := uint64(0); i < n; i++ {
+		key := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		pt, used, err := core.DecodeProbTable(d.data)
+		if err != nil {
+			return nil, 0, fmt.Errorf("distshp: probs snapshot: %w", err)
+		}
+		d.data = d.data[used:]
+		probs[key] = &pt
+	}
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("distshp: probs snapshot: %w", d.err)
+	}
+	return probs, len(data) - len(d.data), nil
+}
+
+func (c probsCodec) Size(m pregel.Message) int {
+	buf, _ := c.Append(nil, m)
+	return len(buf)
+}
+
+type histMapCodec struct{}
+
+func (histMapCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	return appendHistMap(buf, m.(map[uint64]*histPair)), nil
+}
+
+func (histMapCodec) Decode(data []byte) (pregel.Message, int, error) {
+	d := &decoder{data: data}
+	m := d.histMap()
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("distshp: histogram snapshot: %w", d.err)
+	}
+	return m, len(data) - len(d.data), nil
+}
+
+func (c histMapCodec) Size(m pregel.Message) int {
+	buf, _ := c.Append(nil, m)
+	return len(buf)
+}
+
+type weightMapCodec struct{}
+
+func (weightMapCodec) Append(buf []byte, m pregel.Message) ([]byte, error) {
+	return appendWeightMap(buf, m.(map[int32]int64)), nil
+}
+
+func (weightMapCodec) Decode(data []byte) (pregel.Message, int, error) {
+	d := &decoder{data: data}
+	m := d.weightMap()
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("distshp: weight snapshot: %w", d.err)
+	}
+	return m, len(data) - len(d.data), nil
+}
+
+func (c weightMapCodec) Size(m pregel.Message) int {
+	buf, _ := c.Append(nil, m)
+	return len(buf)
+}
+
+// newSnapshotRegistry builds the checkpoint codec registry: every vertex
+// state and every value that can appear in the engine's aggregated map at a
+// barrier (merged aggregator outputs and master-set broadcasts). A type
+// missing here fails the checkpoint loudly instead of dropping state.
+func newSnapshotRegistry() *pregel.Registry {
+	reg := pregel.NewRegistry()
+	reg.Register(&dataState{}, dataStateCodec{})
+	reg.Register(&queryState{}, queryStateCodec{})
+	reg.Register(int(0), intCodec{})                        // "level", "iter"
+	reg.Register(false, boolCodec{})                        // "rebuild"
+	reg.Register(int64(0), pregel.Int64Codec{})             // "moved", "fanoutDiff"
+	reg.Register(probsValue(nil), probsCodec{})             // "probs"
+	reg.Register(map[uint64]*histPair(nil), histMapCodec{}) // "proposals"
+	reg.Register(map[int32]int64(nil), weightMapCodec{})    // "weights"
+	return reg
+}

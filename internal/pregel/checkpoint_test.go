@@ -1,0 +1,404 @@
+package pregel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// ringRun is a deterministic, never-halting computation that exercises every
+// plane a checkpoint must cover: float64 vertex states that evolve each
+// superstep, ring messages pending at every barrier, a merged aggregator,
+// and master closure state outside the aggregator plane.
+type ringRun struct {
+	masterSum float64
+	opts      Options
+	vertices  []*Vertex
+}
+
+func newRingRun(n, workers, steps int, transport Transport, cp Checkpointer, every int) *ringRun {
+	r := &ringRun{}
+	r.vertices = make([]*Vertex, n)
+	for i := range r.vertices {
+		r.vertices[i] = &Vertex{ID: VertexID(i), State: float64(i + 1)}
+	}
+	r.opts = Options{
+		Workers:         workers,
+		MaxSupersteps:   steps,
+		Transport:       transport,
+		Codecs:          floatRegistry(),
+		Snapshots:       floatRegistry(),
+		Checkpointer:    cp,
+		CheckpointEvery: every,
+		Aggregators: map[string]AggregatorDef{
+			"total": {New: func() Aggregator { return &SumAggregator{} }},
+		},
+		Compute: func(ctx *Context, v *Vertex, msgs []Message) {
+			val := v.State.(float64)
+			for _, m := range msgs {
+				val += m.(float64)
+			}
+			val *= 0.75 // keep magnitudes bounded
+			v.State = val
+			ctx.Aggregate("total", val)
+			ctx.Send(VertexID((int(v.ID)+1)%n), val*0.5)
+		},
+		Master: func(step int, agg map[string]interface{}) (bool, map[string]interface{}) {
+			if v, ok := agg["total"]; ok {
+				r.masterSum += v.(float64) * float64(step+1)
+			}
+			return false, nil
+		},
+		MasterSnapshot: func() []byte {
+			return binary.LittleEndian.AppendUint64(nil, math.Float64bits(r.masterSum))
+		},
+		MasterRestore: func(data []byte) error {
+			if len(data) != 8 {
+				return fmt.Errorf("bad master blob length %d", len(data))
+			}
+			r.masterSum = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			return nil
+		},
+	}
+	return r
+}
+
+// run executes the computation, failing the test on error.
+func (r *ringRun) run(t *testing.T) *Stats {
+	t.Helper()
+	eng, err := NewEngine(r.opts, r.vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// requireSameRun asserts bit-identical final states, master closures, and
+// per-superstep statistics between two finished ringRuns.
+func requireSameRun(t *testing.T, label string, a, b *ringRun, sa, sb *Stats) {
+	t.Helper()
+	for i := range a.vertices {
+		av := a.vertices[i].State.(float64)
+		bv := b.vertices[i].State.(float64)
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			t.Fatalf("%s: state[%d] differs: %v vs %v", label, i, av, bv)
+		}
+	}
+	if math.Float64bits(a.masterSum) != math.Float64bits(b.masterSum) {
+		t.Fatalf("%s: master state differs: %v vs %v", label, a.masterSum, b.masterSum)
+	}
+	if len(sa.PerSuperstep) != len(sb.PerSuperstep) {
+		t.Fatalf("%s: %d vs %d supersteps", label, len(sa.PerSuperstep), len(sb.PerSuperstep))
+	}
+	for i := range sa.PerSuperstep {
+		if sa.PerSuperstep[i] != sb.PerSuperstep[i] {
+			t.Fatalf("%s: superstep %d stats differ:\n%+v\n%+v", label, i, sa.PerSuperstep[i], sb.PerSuperstep[i])
+		}
+	}
+}
+
+// TestRecoveryAtEverySuperstep is the engine-level property test: with a
+// checkpoint at every superstep, a worker kill injected at each possible
+// exchange recovers and finishes bit-for-bit identical to the undisturbed
+// run — states, master closure, and the full per-superstep stats stream.
+func TestRecoveryAtEverySuperstep(t *testing.T) {
+	const n, workers, steps = 24, 3, 12
+	base := newRingRun(n, workers, steps, nil, nil, 0)
+	baseStats := base.run(t)
+
+	for kill := 1; kill < steps; kill++ {
+		r := newRingRun(n, workers, steps, FaultyTransport(MemoryTransport(), FaultPlan{
+			KillWorker: 1, KillStep: kill,
+		}), NewMemoryCheckpointer(), 1)
+		stats := r.run(t)
+		requireSameRun(t, fmt.Sprintf("kill@%d", kill), base, r, baseStats, stats)
+		if stats.Recoveries != 1 {
+			t.Fatalf("kill@%d: Recoveries = %d, want 1", kill, stats.Recoveries)
+		}
+		if stats.CheckpointBytes <= 0 {
+			t.Fatalf("kill@%d: CheckpointBytes = %d, want > 0", kill, stats.CheckpointBytes)
+		}
+	}
+}
+
+// TestRecoveryAcrossCadences kills at a fixed superstep under several
+// checkpoint cadences: rolling back 1, several, or all supersteps must all
+// converge to the same bits.
+func TestRecoveryAcrossCadences(t *testing.T) {
+	const n, workers, steps, kill = 24, 3, 12, 9
+	base := newRingRun(n, workers, steps, nil, nil, 0)
+	baseStats := base.run(t)
+
+	for _, every := range []int{1, 3, 5, 64} {
+		r := newRingRun(n, workers, steps, FaultyTransport(MemoryTransport(), FaultPlan{
+			KillWorker: 2, KillStep: kill,
+		}), NewMemoryCheckpointer(), every)
+		stats := r.run(t)
+		requireSameRun(t, fmt.Sprintf("every=%d", every), base, r, baseStats, stats)
+		if stats.Recoveries != 1 {
+			t.Fatalf("every=%d: Recoveries = %d, want 1", every, stats.Recoveries)
+		}
+	}
+}
+
+// TestTransientDropsRetryInPlace injects side-effect-free frame drops: the
+// engine must absorb them with in-place retries — no recovery, no
+// checkpointer needed — and still produce the undisturbed bits.
+func TestTransientDropsRetryInPlace(t *testing.T) {
+	const n, workers, steps = 24, 3, 12
+	base := newRingRun(n, workers, steps, nil, nil, 0)
+	baseStats := base.run(t)
+
+	r := newRingRun(n, workers, steps, FaultyTransport(MemoryTransport(), FaultPlan{
+		DropEvery: 3,
+	}), nil, 0)
+	stats := r.run(t)
+	requireSameRun(t, "drops", base, r, baseStats, stats)
+	if stats.RetriedFrames == 0 {
+		t.Fatal("RetriedFrames = 0, want > 0")
+	}
+	if stats.Recoveries != 0 {
+		t.Fatalf("Recoveries = %d, want 0 (drops are transient)", stats.Recoveries)
+	}
+}
+
+// TestWorkerFailureWithoutCheckpointer: no checkpointer means a kill is
+// fatal, surfaced as the typed *WorkerFailure.
+func TestWorkerFailureWithoutCheckpointer(t *testing.T) {
+	r := newRingRun(24, 3, 12, FaultyTransport(MemoryTransport(), FaultPlan{
+		KillWorker: 1, KillStep: 4,
+	}), nil, 0)
+	eng, err := NewEngine(r.opts, r.vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run()
+	var wf *WorkerFailure
+	if !errors.As(err, &wf) {
+		t.Fatalf("Run returned %v, want a *WorkerFailure", err)
+	}
+	if wf.Worker != 1 || wf.Superstep != 4 {
+		t.Fatalf("WorkerFailure{Worker: %d, Superstep: %d}, want {1, 4}", wf.Worker, wf.Superstep)
+	}
+}
+
+// TestRecoveryOverTCP runs the kill/recover cycle on the real socket
+// transport: recovery must tear the mesh down and rebuild it.
+func TestRecoveryOverTCP(t *testing.T) {
+	const n, workers, steps = 24, 3, 10
+	base := newRingRun(n, workers, steps, nil, nil, 0)
+	baseStats := base.run(t)
+
+	r := newRingRun(n, workers, steps, FaultyTransport(TCPTransport(), FaultPlan{
+		KillWorker: 1, KillStep: 5,
+	}), NewMemoryCheckpointer(), 2)
+	stats := r.run(t)
+	// BytesSent differs between transports (frames vs codec sizes), so
+	// compare states and master closure only.
+	for i := range base.vertices {
+		av := base.vertices[i].State.(float64)
+		bv := r.vertices[i].State.(float64)
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			t.Fatalf("state[%d] differs: %v vs %v", i, av, bv)
+		}
+	}
+	if math.Float64bits(base.masterSum) != math.Float64bits(r.masterSum) {
+		t.Fatalf("master state differs: %v vs %v", base.masterSum, r.masterSum)
+	}
+	if len(baseStats.PerSuperstep) != len(stats.PerSuperstep) {
+		t.Fatalf("%d vs %d supersteps", len(baseStats.PerSuperstep), len(stats.PerSuperstep))
+	}
+	if stats.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", stats.Recoveries)
+	}
+}
+
+// TestPeerCloseMidRunSurfacesTypedError closes a live TCP connection behind
+// the engine's back; the next exchange must fail with a *WorkerFailure
+// instead of hanging the barrier. The whole run is guarded by a timeout.
+func TestPeerCloseMidRunSurfacesTypedError(t *testing.T) {
+	tr := TCPTransport().(*tcpTransport)
+	r := newRingRun(24, 3, 12, tr, nil, 0)
+	inner := r.opts.Master
+	r.opts.Master = func(step int, agg map[string]interface{}) (bool, map[string]interface{}) {
+		if step == 1 {
+			// Sever worker 1's inbound link from worker 0 between barriers:
+			// from the engine's view, a peer died mid-run.
+			tr.recv[1][0].Close()
+		}
+		return inner(step, agg)
+	}
+	eng, err := NewEngine(r.opts, r.vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var wf *WorkerFailure
+		if !errors.As(err, &wf) {
+			t.Fatalf("Run returned %v, want a *WorkerFailure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine hung after peer connection closed mid-run")
+	}
+}
+
+// TestReadFrameTimeout wires a tcpTransport to a silent peer: with
+// FrameTimeout set, readFrame must give up with a timeout error instead of
+// blocking forever.
+func TestReadFrameTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	tr := &tcpTransport{
+		recv:    [][]net.Conn{{nil, client}, {nil, nil}},
+		staging: [][][]envelope{make([][]envelope, 2), make([][]envelope, 2)},
+	}
+	e := &Engine{opts: Options{FrameTimeout: 50 * time.Millisecond, Codecs: floatRegistry()}}
+	start := time.Now()
+	err = tr.readFrame(e, 1, 0, 0) // worker 0 reading from silent worker 1
+	if err == nil {
+		t.Fatal("readFrame succeeded against a silent peer")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("readFrame error %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline was 50ms", elapsed)
+	}
+}
+
+// TestAggregatorErrorsSurfaceThroughRun: aggregator misuse (wrong value
+// type, unknown name) must fail the run with a typed *ComputeError instead
+// of crashing the worker goroutine.
+func TestAggregatorErrorsSurfaceThroughRun(t *testing.T) {
+	cases := []struct {
+		name    string
+		compute ComputeFunc
+	}{
+		{"type mismatch", func(ctx *Context, v *Vertex, msgs []Message) {
+			ctx.Aggregate("total", int64(1)) // SumAggregator wants float64
+		}},
+		{"unknown name", func(ctx *Context, v *Vertex, msgs []Message) {
+			ctx.Aggregate("no-such-aggregator", 1.0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := NewEngine(Options{
+				Workers:       3,
+				MaxSupersteps: 4,
+				Aggregators:   map[string]AggregatorDef{"total": {New: func() Aggregator { return &SumAggregator{} }}},
+				Compute:       tc.compute,
+			}, buildChain(20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = eng.Run()
+			var ce *ComputeError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Run returned %v, want a *ComputeError", err)
+			}
+			var ae *AggregatorError
+			if !errors.As(err, &ae) {
+				t.Fatalf("ComputeError %v does not wrap an *AggregatorError", err)
+			}
+		})
+	}
+}
+
+// TestDiskCheckpointer covers the persistent store: atomic saves, re-scan by
+// a fresh instance (process-restart shape), and pruning.
+func TestDiskCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := NewDiskCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := cp.Latest(); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v, want none", ok, err)
+	}
+	for step := 0; step <= 8; step += 4 {
+		if err := cp.Save(step, []byte(fmt.Sprintf("snap-%d", step))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh instance over the same directory sees the latest snapshot.
+	cp2, err := NewDiskCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, snap, ok, err := cp2.Latest()
+	if err != nil || !ok {
+		t.Fatalf("Latest: ok=%v err=%v", ok, err)
+	}
+	if step != 8 || string(snap) != "snap-8" {
+		t.Fatalf("Latest = (%d, %q), want (8, snap-8)", step, snap)
+	}
+	// Default pruning keeps the newest two snapshots.
+	steps, err := cp2.steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[0] != 4 || steps[1] != 8 {
+		t.Fatalf("kept steps %v, want [4 8]", steps)
+	}
+}
+
+// TestDiskCheckpointerDrivesRecovery runs the full kill/recover cycle with
+// snapshots on disk instead of in memory.
+func TestDiskCheckpointerDrivesRecovery(t *testing.T) {
+	const n, workers, steps = 24, 3, 12
+	base := newRingRun(n, workers, steps, nil, nil, 0)
+	base.run(t)
+
+	cp, err := NewDiskCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRingRun(n, workers, steps, FaultyTransport(MemoryTransport(), FaultPlan{
+		KillWorker: 0, KillStep: 7,
+	}), cp, 3)
+	stats := r.run(t)
+	for i := range base.vertices {
+		av := base.vertices[i].State.(float64)
+		bv := r.vertices[i].State.(float64)
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			t.Fatalf("state[%d] differs: %v vs %v", i, av, bv)
+		}
+	}
+	if stats.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", stats.Recoveries)
+	}
+}

@@ -65,15 +65,39 @@ func (r *Registry) envelopeSize(env envelope) (int, error) {
 	return uvarintLen(uint64(env.dst)) + 1 + r.byID[id].Size(env.msg), nil
 }
 
+// appendValue encodes one bare value: a codec-id byte, then the payload.
+// This is the unit shared by message envelopes and checkpoint snapshots —
+// a snapshot is just values encoded through a registry, so the checkpoint
+// plane gets the same measured-bytes guarantee as the wire.
+func (r *Registry) appendValue(buf []byte, v Message) ([]byte, error) {
+	id, ok := r.byType[reflect.TypeOf(v)]
+	if !ok {
+		return buf, fmt.Errorf("pregel: no codec registered for %T", v)
+	}
+	buf = append(buf, id)
+	return r.byID[id].Append(buf, v)
+}
+
+// decodeValue reads one bare value from the front of data.
+func (r *Registry) decodeValue(data []byte) (Message, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("pregel: truncated codec id")
+	}
+	id := data[0]
+	if int(id) >= len(r.byID) {
+		return nil, 0, fmt.Errorf("pregel: unknown codec id %d", id)
+	}
+	m, used, err := r.byID[id].Decode(data[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, 1 + used, nil
+}
+
 // appendEnvelope encodes one envelope onto buf.
 func (r *Registry) appendEnvelope(buf []byte, env envelope) ([]byte, error) {
-	id, ok := r.byType[reflect.TypeOf(env.msg)]
-	if !ok {
-		return buf, fmt.Errorf("pregel: no codec registered for %T", env.msg)
-	}
 	buf = binary.AppendUvarint(buf, uint64(env.dst))
-	buf = append(buf, id)
-	return r.byID[id].Append(buf, env.msg)
+	return r.appendValue(buf, env.msg)
 }
 
 // decodeEnvelope reads one envelope from the front of data.
@@ -82,18 +106,11 @@ func (r *Registry) decodeEnvelope(data []byte) (envelope, int, error) {
 	if n <= 0 {
 		return envelope{}, 0, fmt.Errorf("pregel: truncated envelope header")
 	}
-	if n >= len(data) {
-		return envelope{}, 0, fmt.Errorf("pregel: truncated codec id")
-	}
-	id := data[n]
-	if int(id) >= len(r.byID) {
-		return envelope{}, 0, fmt.Errorf("pregel: unknown codec id %d", id)
-	}
-	m, used, err := r.byID[id].Decode(data[n+1:])
+	m, used, err := r.decodeValue(data[n:])
 	if err != nil {
 		return envelope{}, 0, err
 	}
-	return envelope{dst: VertexID(dst), msg: m}, n + 1 + used, nil
+	return envelope{dst: VertexID(dst), msg: m}, n + used, nil
 }
 
 func uvarintLen(v uint64) int {

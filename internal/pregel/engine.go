@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"shp/internal/par"
+	"shp/internal/rng"
 )
 
 // envelope is one message addressed to a destination vertex.
@@ -150,12 +152,37 @@ func (e *Engine) workerOf(id VertexID) int {
 // Run executes supersteps until every vertex halts with no pending messages,
 // the master requests a halt, or MaxSupersteps is reached. It returns run
 // statistics.
+//
+// With a Checkpointer configured, the engine snapshots its full barrier
+// state (vertex states, halted flags, pending inboxes, merged aggregators,
+// master blob) at superstep 0 and every CheckpointEvery supersteps, and a
+// *WorkerFailure during an exchange rolls every worker back to the latest
+// snapshot and replays. Because compute is deterministic given barrier
+// state, the replayed run — and therefore Run's result — is byte-identical
+// to an undisturbed one (only Stats.Recoveries/RetriedFrames betray the
+// faults). Exchange errors wrapping ErrTransient are retried in place with
+// exponential backoff first; anything else escalates to recovery.
 func (e *Engine) Run() (*Stats, error) {
 	if err := e.transport.start(e); err != nil {
 		return nil, err
 	}
 	defer e.transport.close()
-	for step := 0; step < e.opts.MaxSupersteps; step++ {
+
+	every := e.opts.CheckpointEvery
+	if every <= 0 {
+		every = 64
+	}
+	maxRecoveries := e.opts.MaxRecoveries
+	if maxRecoveries <= 0 {
+		maxRecoveries = 8
+	}
+	if e.opts.Checkpointer != nil {
+		if err := e.checkpoint(0); err != nil {
+			return nil, err
+		}
+	}
+
+	for step := 0; step < e.opts.MaxSupersteps; {
 		active := 0
 		maxWorkerActive := 0
 		for _, w := range e.workers {
@@ -175,9 +202,17 @@ func (e *Engine) Run() (*Stats, error) {
 			break
 		}
 
+		workerErrs := make([]error, len(e.workers))
 		par.Each(len(e.workers), func(i int) {
-			e.runWorker(e.workers[i], step)
+			workerErrs[i] = e.runWorkerSafe(e.workers[i], step)
 		})
+		for _, werr := range workerErrs {
+			if werr != nil {
+				// Compute failures are not recoverable by rollback: replaying
+				// deterministic compute hits the same bug.
+				return nil, werr
+			}
+		}
 
 		// Barrier: account outboxes (post sender-side combining, so these
 		// are the counts that actually cross the transport), exchange, and
@@ -192,9 +227,14 @@ func (e *Engine) Run() (*Stats, error) {
 				}
 			}
 		}
-		wireBytes, err := e.transport.exchange(e, step)
+		wireBytes, err := e.exchangeWithRetry(step)
 		if err != nil {
-			return nil, err
+			restored, rerr := e.recoverFrom(err, step, maxRecoveries)
+			if rerr != nil {
+				return nil, rerr
+			}
+			step = restored
+			continue
 		}
 		ss.BytesSent = wireBytes
 
@@ -227,17 +267,113 @@ func (e *Engine) Run() (*Stats, error) {
 		e.stats.TotalBytes += ss.BytesSent
 		e.stats.AggBytes += ss.AggBytes
 
+		halt := false
 		if e.opts.Master != nil {
-			halt, set := e.opts.Master(step, e.aggregated)
+			var set map[string]interface{}
+			halt, set = e.opts.Master(step, e.aggregated)
 			for name, v := range set {
 				e.aggregated[name] = v
 			}
-			if halt {
-				break
+		}
+		step++
+		if halt {
+			break
+		}
+		if e.opts.Checkpointer != nil && step%every == 0 && step < e.opts.MaxSupersteps {
+			if err := e.checkpoint(step); err != nil {
+				return nil, err
 			}
 		}
 	}
 	return &e.stats, nil
+}
+
+// runWorkerSafe runs one worker, converting *AggregatorError panics from
+// misused aggregators into a typed *ComputeError; any other panic is a
+// genuine bug and propagates with its original stack.
+func (e *Engine) runWorkerSafe(w *worker, step int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(*AggregatorError); ok {
+				err = &ComputeError{Worker: w.id, Superstep: step, Err: ae}
+				return
+			}
+			panic(r)
+		}
+	}()
+	e.runWorker(w, step)
+	return nil
+}
+
+// exchangeWithRetry runs the transport exchange, retrying in place (with
+// exponential backoff plus deterministic jitter) when the failure is marked
+// transient — i.e. the transport guarantees the attempt had no side effect.
+func (e *Engine) exchangeWithRetry(step int) (int64, error) {
+	retries := e.opts.ExchangeRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := e.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		nb, err := e.transport.exchange(e, step)
+		if err == nil {
+			return nb, nil
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= retries {
+			return 0, err
+		}
+		e.stats.RetriedFrames++
+		delay := backoff << attempt
+		jitter := time.Duration(rng.Mix(uint64(step), uint64(attempt)) % uint64(backoff))
+		time.Sleep(delay + jitter)
+	}
+}
+
+// recoverFrom handles a failed exchange at the given superstep: if the error
+// is a *WorkerFailure and a checkpoint is available, it tears down the
+// transport, restores the latest snapshot on every worker, rewinds the
+// superstep statistics, and restarts the transport, returning the superstep
+// to resume from. Any other error — or recovery budget exhaustion — is
+// returned unchanged.
+func (e *Engine) recoverFrom(err error, step, maxRecoveries int) (int, error) {
+	var wf *WorkerFailure
+	if !errors.As(err, &wf) {
+		return 0, err
+	}
+	if e.opts.Checkpointer == nil || e.stats.Recoveries >= maxRecoveries {
+		return 0, err
+	}
+	snapStep, snapshot, ok, cerr := e.opts.Checkpointer.Latest()
+	if cerr != nil || !ok {
+		return 0, err
+	}
+	e.stats.Recoveries++
+	e.transport.close()
+	if rerr := e.restoreSnapshot(snapshot); rerr != nil {
+		return 0, fmt.Errorf("pregel: recovery from %v failed: %w", err, rerr)
+	}
+	// Rewind run statistics to the checkpoint boundary; the replay will
+	// re-append identical per-superstep entries (compute is deterministic),
+	// keeping PerSuperstep comparable to an undisturbed run. The resilience
+	// counters (Recoveries, RetriedFrames, CheckpointBytes) deliberately
+	// survive the rewind: they are the cost of the faults themselves.
+	e.stats.PerSuperstep = e.stats.PerSuperstep[:snapStep]
+	e.stats.Supersteps = snapStep
+	e.stats.TotalMessages, e.stats.RemoteMessages = 0, 0
+	e.stats.TotalBytes, e.stats.AggBytes = 0, 0
+	for _, ss := range e.stats.PerSuperstep {
+		e.stats.TotalMessages += ss.MessagesSent
+		e.stats.RemoteMessages += ss.RemoteMessages
+		e.stats.TotalBytes += ss.BytesSent
+		e.stats.AggBytes += ss.AggBytes
+	}
+	if serr := e.transport.start(e); serr != nil {
+		return 0, fmt.Errorf("pregel: transport restart after recovery: %w", serr)
+	}
+	return snapStep, nil
 }
 
 // runWorker executes one worker's vertices for one superstep. Inbound

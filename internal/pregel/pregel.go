@@ -25,6 +25,11 @@
 // rather than asserted.
 package pregel
 
+import (
+	"fmt"
+	"time"
+)
+
 // VertexID identifies a vertex. IDs need not be dense, but dense ids give
 // the most even sharding.
 type VertexID int64
@@ -76,12 +81,17 @@ func (c *Context) Send(dst VertexID, m Message) {
 // Aggregate folds a value into the named aggregator; the master sees the
 // merged value after the superstep and vertices can read the previous
 // superstep's merged value with ReadAggregator.
+//
+// An unknown aggregator name or a type-mismatched value panics with an
+// *AggregatorError; the engine recovers it into a *ComputeError surfaced
+// through Run, so a misconfigured computation fails the superstep cleanly
+// instead of crashing a worker goroutine.
 func (c *Context) Aggregate(name string, value interface{}) {
 	agg, ok := c.worker.aggregators[name]
 	if !ok {
 		def, exists := c.engine.opts.Aggregators[name]
 		if !exists {
-			panic("pregel: unknown aggregator " + name)
+			panic(&AggregatorError{Name: name, Reason: "unknown aggregator"})
 		}
 		agg = def.New()
 		c.worker.aggregators[name] = agg
@@ -157,7 +167,15 @@ type Stats struct {
 	RemoteMessages int64
 	TotalBytes     int64
 	AggBytes       int64
-	PerSuperstep   []SuperstepStats
+	// Recoveries counts checkpoint rollbacks taken after a worker failure.
+	Recoveries int
+	// RetriedFrames counts transport exchanges re-attempted after a
+	// transient error (errors wrapping ErrTransient) before succeeding.
+	RetriedFrames int64
+	// CheckpointBytes is the total encoded size of all snapshots written,
+	// measured on the same codec plane as wire bytes.
+	CheckpointBytes int64
+	PerSuperstep    []SuperstepStats
 }
 
 // PhaseTotals attributes the run's traffic to protocol phases for
@@ -221,13 +239,56 @@ type Options struct {
 	// that keep per-destination traffic kind-homogeneous, like distshp's,
 	// may legitimately panic on cross-kind pairs to surface violations).
 	Combiner func(a, b Message) Message
+
+	// Checkpointer, if set, enables superstep checkpointing: the engine
+	// snapshots vertex state, halted flags, pending inboxes, merged
+	// aggregator values, and the master blob every CheckpointEvery
+	// supersteps, and rolls back to the latest snapshot when an exchange
+	// fails with a *WorkerFailure. Nil disables checkpointing (any worker
+	// failure aborts the run).
+	Checkpointer Checkpointer
+	// CheckpointEvery is the snapshot cadence in supersteps. <= 0 means 64.
+	// A snapshot is always taken at superstep 0 (before any compute) so
+	// recovery is possible from the first barrier onward.
+	CheckpointEvery int
+	// Snapshots registers codecs for vertex states and aggregator values so
+	// snapshots ride the same typed-codec plane as messages. Required when
+	// Checkpointer is set and any vertex state or merged aggregator value
+	// is non-nil; missing codecs fail the checkpoint loudly rather than
+	// dropping state silently.
+	Snapshots *Registry
+	// MasterSnapshot/MasterRestore serialize master-side closure state that
+	// lives outside aggregators (optional). Without them a recovery replays
+	// the master function against restored aggregators only, which is wrong
+	// for masters that keep private mutable state across supersteps.
+	MasterSnapshot func() []byte
+	MasterRestore  func(data []byte) error
+	// MaxRecoveries bounds checkpoint rollbacks per run. <= 0 means 8.
+	MaxRecoveries int
+	// ExchangeRetries bounds in-place retries of an exchange that failed
+	// with a transient error (wrapping ErrTransient) before the failure is
+	// escalated to recovery. <= 0 means 3.
+	ExchangeRetries int
+	// RetryBackoff is the base delay before the first retry; attempt i
+	// waits RetryBackoff << i plus deterministic jitter. <= 0 means 500µs.
+	RetryBackoff time.Duration
+	// FrameTimeout is the per-frame read/write deadline on the TCP
+	// transport. <= 0 means no deadline (a dead peer blocks forever).
+	FrameTimeout time.Duration
 }
 
 // SumAggregator sums float64 values.
 type SumAggregator struct{ sum float64 }
 
-// Add folds one float64 in.
-func (a *SumAggregator) Add(v interface{}) { a.sum += v.(float64) }
+// Add folds one float64 in; any other type panics with an *AggregatorError
+// (recovered by the engine into a *ComputeError).
+func (a *SumAggregator) Add(v interface{}) {
+	f, ok := v.(float64)
+	if !ok {
+		panic(&AggregatorError{Name: "sum", Reason: fmt.Sprintf("want float64, got %T", v)})
+	}
+	a.sum += f
+}
 
 // Merge folds another SumAggregator in.
 func (a *SumAggregator) Merge(o Aggregator) { a.sum += o.(*SumAggregator).sum }
@@ -238,8 +299,15 @@ func (a *SumAggregator) Value() interface{} { return a.sum }
 // CountAggregator counts int64 increments.
 type CountAggregator struct{ n int64 }
 
-// Add folds one int64 in.
-func (a *CountAggregator) Add(v interface{}) { a.n += v.(int64) }
+// Add folds one int64 in; any other type panics with an *AggregatorError
+// (recovered by the engine into a *ComputeError).
+func (a *CountAggregator) Add(v interface{}) {
+	d, ok := v.(int64)
+	if !ok {
+		panic(&AggregatorError{Name: "count", Reason: fmt.Sprintf("want int64, got %T", v)})
+	}
+	a.n += d
+}
 
 // Merge folds another CountAggregator in.
 func (a *CountAggregator) Merge(o Aggregator) { a.n += o.(*CountAggregator).n }

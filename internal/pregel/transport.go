@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shp/internal/par"
 )
@@ -138,10 +139,19 @@ func (t *tcpTransport) start(e *Engine) error {
 	var firstErr error
 	fail := func(err error) {
 		mu.Lock()
-		if firstErr == nil {
+		first := firstErr == nil
+		if first {
 			firstErr = err
 		}
 		mu.Unlock()
+		if first {
+			// A failed dial leaves the destination's accept loop waiting for
+			// a hello that will never come; closing the listeners makes every
+			// blocked Accept return so wg.Wait cannot deadlock.
+			for _, ln := range t.listeners {
+				ln.Close()
+			}
+		}
 	}
 	for dst := 0; dst < n; dst++ {
 		wg.Add(1)
@@ -228,7 +238,11 @@ func (t *tcpTransport) exchange(e *Engine, step int) (int64, error) {
 				defer wg.Done()
 				nb, err := t.writeFrame(e, src, dst, step)
 				if err != nil {
-					fail(fmt.Errorf("pregel: worker %d -> %d: %w", src, dst, err))
+					// The write may have landed partially, poisoning the
+					// frame stream to dst: blame dst and let the engine roll
+					// back to a checkpoint rather than retry in place.
+					fail(&WorkerFailure{Worker: dst, Superstep: step,
+						Err: fmt.Errorf("worker %d -> %d: %w", src, dst, err)})
 					// Unblock the peer's reader: no frame is coming.
 					t.send[src][dst].Close()
 					return
@@ -239,7 +253,8 @@ func (t *tcpTransport) exchange(e *Engine, step int) (int64, error) {
 			go func(src, dst int) {
 				defer wg.Done()
 				if err := t.readFrame(e, src, dst, step); err != nil {
-					fail(fmt.Errorf("pregel: worker %d <- %d: %w", dst, src, err))
+					fail(&WorkerFailure{Worker: src, Superstep: step,
+						Err: fmt.Errorf("worker %d <- %d: %w", dst, src, err)})
 					// Unblock a writer mid-frame on the dead connection.
 					t.recv[dst][src].Close()
 				}
@@ -289,7 +304,11 @@ func (t *tcpTransport) writeFrame(e *Engine, src, dst, step int) (int64, error) 
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(step))
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(ob.env)))
 	t.encBuf[src][dst] = buf
-	if _, err := t.send[src][dst].Write(buf); err != nil {
+	conn := t.send[src][dst]
+	if d := e.opts.FrameTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if _, err := conn.Write(buf); err != nil {
 		return 0, err
 	}
 	return int64(len(buf)), nil
@@ -299,6 +318,11 @@ func (t *tcpTransport) writeFrame(e *Engine, src, dst, step int) (int64, error) 
 // into the staging area.
 func (t *tcpTransport) readFrame(e *Engine, src, dst, step int) error {
 	conn := t.recv[dst][src]
+	if d := e.opts.FrameTimeout; d > 0 {
+		// One deadline covers the whole frame: a peer that stalls mid-frame
+		// is as dead as one that never sends the header.
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
 	var header [frameHeaderSize]byte
 	if _, err := io.ReadFull(conn, header[:]); err != nil {
 		return err

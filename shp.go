@@ -283,6 +283,39 @@ func MemoryTransport() Transport { return pregel.MemoryTransport() }
 // are identical to the in-process backend for the same seed.
 func TCPTransport() Transport { return pregel.TCPTransport() }
 
+// Checkpointer persists superstep snapshots for the distributed engine's
+// worker-failure recovery; see DistributedOptions.Checkpointer.
+type Checkpointer = pregel.Checkpointer
+
+// NewMemoryCheckpointer returns an in-process checkpoint store (the default
+// for distributed runs): snapshots survive engine restarts within the
+// process but not process death.
+func NewMemoryCheckpointer() Checkpointer { return pregel.NewMemoryCheckpointer() }
+
+// NewDiskCheckpointer returns a checkpoint store persisting snapshots as
+// atomically-written files under dir, so a rerun over the same directory
+// can resume after process death.
+func NewDiskCheckpointer(dir string) (Checkpointer, error) {
+	return pregel.NewDiskCheckpointer(dir)
+}
+
+// FaultPlan schedules deterministic fault injection for FaultyTransport:
+// a one-shot worker kill at a chosen superstep, periodic transient frame
+// drops, and exchange delays.
+type FaultPlan = pregel.FaultPlan
+
+// FaultyTransport wraps a transport with deterministic fault injection, for
+// exercising the checkpoint/recovery plane: an injected worker kill rolls
+// the run back to the latest snapshot and replays, and the recovered result
+// is byte-identical to an undisturbed run.
+func FaultyTransport(inner Transport, plan FaultPlan) Transport {
+	return pregel.FaultyTransport(inner, plan)
+}
+
+// WorkerFailure is the typed error a distributed run surfaces when a worker
+// becomes unreachable and recovery is disabled or exhausted.
+type WorkerFailure = pregel.WorkerFailure
+
 // MultilevelConfig configures the baseline multilevel partitioner.
 type MultilevelConfig = multilevel.Config
 
