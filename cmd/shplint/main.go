@@ -1,0 +1,63 @@
+// Command shplint runs the repo's determinism-invariant static-analysis
+// suite (internal/lint) over the module:
+//
+//	go run ./cmd/shplint ./...
+//
+// It prints one line per finding and exits nonzero if any diagnostic
+// remains, so CI can gate on a clean tree. See the internal/lint package
+// documentation (and the README's "Static analysis & determinism contract"
+// section) for the analyzers and the //shp: annotation conventions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shp/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list the analyzers before running")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shplint [-v] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s", a.Name, a.Doc)
+			if a.Suppress != "" {
+				fmt.Fprintf(os.Stderr, " [//shp:%s(reason)]", a.Suppress)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if *verbose {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("analyzer %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Check(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "shplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

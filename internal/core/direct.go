@@ -834,7 +834,8 @@ func (st *directState) matchSparse() func(from, tgt int32) *ProbTable {
 	})
 	hists := make(map[uint64]*DirHist)
 	for _, m := range partials {
-		for key, h := range m {
+		for _, key := range sortedDirKeys(m) {
+			h := m[key]
 			if g, ok := hists[key]; ok {
 				g.Merge(h)
 			} else {
@@ -845,7 +846,10 @@ func (st *directState) matchSparse() func(from, tgt int32) *ProbTable {
 
 	var empty DirHist
 	probs := make(map[uint64]*ProbTable, len(hists))
-	for key, h := range hists {
+	// Key-ascending so the lower direction key always plays the A side of
+	// the matcher and the probability tables are bit-reproducible.
+	for _, key := range sortedDirKeys(hists) {
+		h := hists[key]
 		if _, done := probs[key]; done {
 			continue
 		}
@@ -870,6 +874,17 @@ func (st *directState) matchSparse() func(from, tgt int32) *ProbTable {
 	return func(from, tgt int32) *ProbTable {
 		return probs[pairKey(from, tgt)]
 	}
+}
+
+// sortedDirKeys returns m's direction keys in ascending order, so histogram
+// merges and pair matching never run in map iteration order.
+func sortedDirKeys(m map[uint64]*DirHist) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // applyMoves aggregates proposals into per-direction gain histograms (the

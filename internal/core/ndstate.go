@@ -212,6 +212,7 @@ func (nd *ndState) applyEntryDelta(q, from, to int32) int64 {
 		}
 	}
 	if i == off+n {
+		//shp:panics(invariant: an incremental retract must match a prior assert; continuing would corrupt neighbor counts)
 		panic(fmt.Sprintf("core: neighbor data for query %d lost bucket %d", q, from))
 	}
 	nd.ent[i].C--
@@ -396,6 +397,7 @@ func NDDec(ent []NDEntry, b int32) []NDEntry {
 		}
 	}
 	if i == len(ent) {
+		//shp:panics(invariant: the mirror must contain every bucket the base state does; continuing would corrupt counts)
 		panic(fmt.Sprintf("core: neighbor-data mirror lost bucket %d", b))
 	}
 	ent[i].C--

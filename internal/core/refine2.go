@@ -748,7 +748,7 @@ func (b *bisection) finishPatch(movers []int32) {
 					break
 				}
 				c := b.side[v]
-				b.accOwn[v] += pg.own[c]
+				b.accOwn[v] += pg.own[c] //shp:rawfloat(pg.own/pg.away hold DeltaOwn/DeltaAway table values hoisted once per group; same dyadic grid, same bits)
 				b.accOth[v] += pg.away[1-c]
 				if b.active[v] == 0 {
 					buf = append(buf, v)

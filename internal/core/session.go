@@ -62,7 +62,7 @@ func NewSession(g *hypergraph.Bipartite, opts Options) (*Session, error) {
 	if err := opts.validate(g.NumData()); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //shp:nondet(wall timing for Result.Elapsed only; never feeds the assignment)
 	var res *Result
 	var err error
 	if opts.Direct {
@@ -73,7 +73,7 @@ func NewSession(g *hypergraph.Bipartite, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //shp:nondet(wall timing for Result.Elapsed only; never feeds the assignment)
 	return &Session{
 		g:          g,
 		opts:       opts,
@@ -157,7 +157,7 @@ func (s *Session) seedBase() uint64 {
 // With Options.MoveCostPenalty set, each epoch penalizes moves away from
 // the assignment it started from, keeping churn low (Section 5).
 func (s *Session) Repartition() (*Result, error) {
-	start := time.Now()
+	start := time.Now() //shp:nondet(wall timing for Result.Elapsed only; never feeds the assignment)
 	s.epoch++
 	epochSeed := rng.Mix(s.seedBase(), s.epoch)
 	if s.st == nil {
@@ -191,7 +191,7 @@ func (s *Session) Repartition() (*Result, error) {
 		Iterations: len(st.history),
 		History:    append([]IterStats(nil), st.history...),
 		Work:       append([]WorkStats(nil), st.work...),
-		Elapsed:    time.Since(start),
+		Elapsed:    time.Since(start), //shp:nondet(wall timing for Result.Elapsed only; never feeds the assignment)
 	}
 	s.last = res
 	return res, nil

@@ -358,6 +358,7 @@ func combine(a, b pregel.Message) pregel.Message {
 		}
 		return append(x, b.(msgDeltaBatch)...)
 	}
+	//shp:panics(invariant: the combiner is wired next to the codec registry; an unknown kind is a registration bug caught by codec-symmetry)
 	panic(fmt.Sprintf("distshp: uncombinable message %T", a))
 }
 
@@ -394,6 +395,7 @@ func (st *dataState) applyDelta(tb core.GainTables, r msgDelta) {
 	case st.bucket ^ 1:
 		st.sumOth += tb.DeltaAway(r.COld, r.CNew)
 	default:
+		//shp:panics(invariant: routing guarantees deltas reach only members of the changed pair; a miss means corrupt accumulators)
 		panic(fmt.Sprintf("distshp: delta for bucket %d reached vertex %d in bucket %d",
 			r.Bucket, st.d, st.bucket))
 	}
@@ -455,6 +457,7 @@ func (st *queryState) register(level, degree int) {
 func (st *queryState) applyUpdate(members []int32, mb msgBucket, track bool) {
 	i, ok := slices.BinarySearch(members, mb.Data)
 	if !ok {
+		//shp:panics(invariant: only adjacent data vertices may update a query; a stray update corrupts neighbor histograms)
 		panic(fmt.Sprintf("distshp: bucket update from non-member %d reached query %d", mb.Data, st.q))
 	}
 	if track {
@@ -526,9 +529,14 @@ func (a *proposalAgg) Add(v interface{}) {
 	}
 }
 
-// Merge folds another proposalAgg in.
+// Merge folds another proposalAgg in. Keys are folded in ascending order
+// so map iteration order never reaches the merged state: first-seen keys
+// adopt the other side's histPair pointer, and the byte-identical
+// equivalence suites pin the merged bytes.
 func (a *proposalAgg) Merge(o pregel.Aggregator) {
-	for key, h := range o.(*proposalAgg).hists {
+	other := o.(*proposalAgg).hists
+	for _, key := range sortedHistKeys(other) {
+		h := other[key]
 		if mine, ok := a.hists[key]; ok {
 			mine.hist.Merge(&h.hist)
 		} else {
@@ -545,6 +553,7 @@ func (a *proposalAgg) Value() interface{} { return a.hists }
 // histogram's non-empty bins. Feeds pregel's AggBytes accounting.
 func (a *proposalAgg) WireSize() int {
 	n := 0
+	//shp:ordered(integer sum over disjoint entries; exact and order-free)
 	for _, h := range a.hists {
 		n += 8 + h.hist.WireSize()
 	}
@@ -568,10 +577,13 @@ func (a *weightAgg) Add(v interface{}) {
 	a.w[s.bucket] += s.weight
 }
 
-// Merge folds another weightAgg in.
+// Merge folds another weightAgg in, bucket-ascending so the fold order is
+// reproducible (int64 addition is associative, but the discipline is
+// uniform: aggregator merges never iterate maps raw).
 func (a *weightAgg) Merge(o pregel.Aggregator) {
-	for b, w := range o.(*weightAgg).w {
-		a.w[b] += w
+	ow := o.(*weightAgg).w
+	for _, b := range sortedWeightBuckets(ow) {
+		a.w[b] += ow[b]
 	}
 }
 
@@ -587,6 +599,27 @@ type bucketWeight struct {
 	weight int64
 }
 
+// sortedHistKeys returns m's direction keys in ascending order, so callers
+// never fold histogram state in map iteration order.
+func sortedHistKeys(m map[uint64]*histPair) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// sortedWeightBuckets returns m's bucket ids in ascending order.
+func sortedWeightBuckets(m map[int32]int64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
 // probsValue is what the master broadcasts: per-direction probability
 // tables.
 type probsValue map[uint64]*core.ProbTable
@@ -600,7 +633,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 	if g.NumData() == 0 {
 		return nil, errors.New("distshp: empty graph")
 	}
-	start := time.Now()
+	start := time.Now() //shp:nondet(wall timing for Result.Elapsed only; never feeds the partition)
 
 	levels := 0
 	for 1<<levels < opts.K {
@@ -661,7 +694,9 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 			// because a retract always follows an assert of the same key, so
 			// a key absent from the persistent map can only carry asserts.
 			if v, ok := agg["proposals"]; ok {
-				for key, h := range v.(map[uint64]*histPair) {
+				deltas := v.(map[uint64]*histPair)
+				for _, key := range sortedHistKeys(deltas) {
+					h := deltas[key]
 					if mine, exists := sched.hists[key]; exists {
 						mine.hist.Merge(&h.hist)
 					} else {
@@ -670,8 +705,9 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 				}
 			}
 			if v, ok := agg["weights"]; ok {
-				for b, w := range v.(map[int32]int64) {
-					sched.weights[b] += w
+				w := v.(map[int32]int64)
+				for _, b := range sortedWeightBuckets(w) {
+					sched.weights[b] += w[b]
 				}
 			}
 			probs := probsValue{}
@@ -679,7 +715,11 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 			t := opts.K >> (sched.level + 1)
 			cap0 := idealPerBucket * float64(t) * (1 + eps)
 			var empty histPair
-			for key, h := range sched.hists {
+			// Direction-key ascending: within a sibling pair (key, key^1)
+			// the lower key always plays the A side of MatchHistograms, so
+			// the broadcast probability tables are bit-reproducible.
+			for _, key := range sortedHistKeys(sched.hists) {
+				h := sched.hists[key]
 				if _, done := probs[key]; done {
 					continue
 				}
@@ -815,7 +855,7 @@ func Partition(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		// level L, bucket ids are already in [0, 2^L) = [0, K).
 		assignment[d] = b
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //shp:nondet(wall timing for Result.Elapsed only; never feeds the partition)
 	return &Result{
 		Assignment: assignment,
 		K:          opts.K,
@@ -909,6 +949,7 @@ func computeData(ctx *pregel.Context, g *hypergraph.Bipartite, st *dataState,
 		}
 		if gains > 0 {
 			if deltas > 0 {
+				//shp:panics(invariant: the superstep schedule never mixes gain and delta planes; a mix means the barrier protocol broke)
 				panic(fmt.Sprintf("distshp: vertex %d received %d gain and %d delta messages in one superstep",
 					st.d, gains, deltas))
 			}

@@ -388,6 +388,7 @@ func (g *Bipartite) reverseRemove(dv, q int32) {
 		}
 	}
 	if i >= len(seg) || seg[i] != q {
+		//shp:panics(invariant: forward and reverse adjacency must stay mirrored; continuing would corrupt the graph)
 		panic(fmt.Sprintf("hypergraph: reverse adjacency of data %d lost query %d", dv, q))
 	}
 	copy(seg[i:], seg[i+1:])

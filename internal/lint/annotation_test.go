@@ -1,0 +1,83 @@
+package lint
+
+// Annotation hygiene: malformed, unknown, empty, and stale //shp: comments
+// are diagnostics in their own right (analyzer "shp-annotation") and cannot
+// be suppressed. These cases live in an in-memory source string rather than
+// golden files because a hygiene diagnostic lands on the comment's own line,
+// where a trailing want comment cannot follow it.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const hygieneSrc = `package core
+
+//shp:ordered missing parens
+var a = 1
+
+//shp:frobnicate(no such directive)
+var b = 2
+
+//shp:panics()
+var c = 3
+
+//shp:ordered(nothing on this line or the next needs suppressing)
+var d = 4
+`
+
+func hygienePackage(t *testing.T) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "hygiene.go", hygieneSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	tpkg, err := (&types.Config{}).Check("core", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		Path: "core", Name: "core", Fset: fset,
+		Files: []*ast.File{f}, Types: tpkg, Info: info,
+		Deterministic: true,
+	}
+}
+
+func TestAnnotationHygiene(t *testing.T) {
+	diags := Check([]*Package{hygienePackage(t)}, Analyzers())
+	wantSubstrings := []string{
+		`malformed annotation`,
+		`unknown shp directive "frobnicate"`,
+		`//shp:panics needs a non-empty justification`,
+		`stale //shp:ordered suppression`,
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstrings), diags)
+	}
+	for i, sub := range wantSubstrings {
+		if diags[i].Analyzer != annotationAnalyzer {
+			t.Errorf("diag %d: analyzer %q, want %q", i, diags[i].Analyzer, annotationAnalyzer)
+		}
+		if !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("diag %d: %q does not contain %q", i, diags[i].Message, sub)
+		}
+	}
+}
+
+// TestStaleScopedToRanAnalyzers pins the partial-run behavior the golden
+// tests rely on: a suppression for an analyzer that did not run is never
+// reported stale.
+func TestStaleScopedToRanAnalyzers(t *testing.T) {
+	diags := Check([]*Package{hygienePackage(t)}, []*Analyzer{panicPolicyAnalyzer})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale //shp:ordered") {
+			t.Errorf("stale report for an analyzer that did not run: %s", d)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package lint
+
+// TestLintClean runs the full shplint suite over the whole module, so a
+// plain `go test ./...` enforces the determinism contract without anyone
+// remembering to invoke cmd/shplint. One t.Errorf per finding keeps the
+// failure output identical to the CLI's.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLintClean(t *testing.T) {
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(moduleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or annotate with a justified //shp: comment; see the package doc")
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+// codec-symmetry: cross-file contract checks for the pregel typed-codec
+// plane. Every `Register(sample, codec)` call on a codec Registry is a
+// promise with three parts that no single file shows:
+//
+//   - the codec must actually decode what it encodes (an Append/Decode
+//     pair, not an encode-only stub);
+//   - hostile bytes must be covered: some Fuzz* target in the package's
+//     tests must exercise the codec (by naming its type) or the whole
+//     registry (by naming the constructor the registration lives in);
+//   - when the registry is wired as Options.Codecs alongside a Combiner,
+//     the combiner must have an arm for the registered message type —
+//     distshp's combiner panics on unknown kinds, so a registered-but-
+//     unhandled type is a latent crash the first time two of its messages
+//     share a destination.
+//
+// Suppress a registration's findings with //shp:nocodec(reason).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+var codecSymmetryAnalyzer = &Analyzer{
+	Name:     "codec-symmetry",
+	Doc:      "registered codecs need decode symmetry, fuzz coverage, and combiner arms",
+	Suppress: "nocodec",
+	Run:      runCodecSymmetry,
+}
+
+// registration is one Register(sample, codec) call.
+type registration struct {
+	call      *ast.CallExpr
+	msgType   types.Type
+	codecType types.Type
+	// enclosing is the function object the call appears in (nil at package
+	// scope).
+	enclosing *types.Func
+}
+
+func runCodecSymmetry(pkg *Package) []Diagnostic {
+	regs, funcDecls := collectRegistrations(pkg)
+	if len(regs) == 0 {
+		return nil
+	}
+	fuzzRefs := fuzzIdentSets(pkg)
+	wireConstructors, combinerBodies := optionsLinks(pkg, funcDecls)
+	armTypes := combinerArmTypes(pkg, combinerBodies)
+
+	var diags []Diagnostic
+	report := func(call *ast.CallExpr, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Analyzer: "codec-symmetry",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	qual := types.RelativeTo(pkg.Types)
+	for _, reg := range regs {
+		msgName := types.TypeString(reg.msgType, qual)
+		codecName := types.TypeString(reg.codecType, qual)
+
+		// Decode symmetry: the codec's method set must carry both halves.
+		if named := namedOf(reg.codecType); named != nil {
+			missing := ""
+			for _, m := range []string{"Append", "Decode"} {
+				if !hasMethod(reg.codecType, m) {
+					missing += " " + m
+				}
+			}
+			if missing != "" {
+				report(reg.call, "codec %s registered for %s is missing%s: every codec needs an encode/decode pair", codecName, msgName, missing)
+			}
+		}
+
+		// Fuzz coverage: the codec type or its registry constructor must be
+		// named by some fuzz target.
+		covered := false
+		for _, refs := range fuzzRefs {
+			if named := namedOf(reg.codecType); named != nil && refs[named.Obj().Name()] {
+				covered = true
+				break
+			}
+			if reg.enclosing != nil && refs[reg.enclosing.Name()] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			report(reg.call, "codec %s registered for %s has no fuzz target: no Fuzz* function references the codec or its registry constructor", codecName, msgName)
+		}
+
+		// Combiner arm: only for registrations inside a constructor whose
+		// registry is wired as Options.Codecs next to a Combiner.
+		if reg.enclosing != nil && wireConstructors[reg.enclosing] && len(combinerBodies) > 0 {
+			arm := false
+			for _, at := range armTypes {
+				if types.Identical(at, reg.msgType) {
+					arm = true
+					break
+				}
+			}
+			if !arm {
+				report(reg.call, "message type %s rides a combined wire but the combiner has no arm for it", msgName)
+			}
+		}
+	}
+	return diags
+}
+
+// collectRegistrations finds Register method calls on *Registry receivers
+// and indexes the package's function declarations by object.
+func collectRegistrations(pkg *Package) ([]registration, map[*types.Func]*ast.FuncDecl) {
+	var regs []registration
+	funcDecls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var enclosing *types.Func
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				enclosing = obj
+				funcDecls[obj] = fd
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 2 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Register" {
+					return true
+				}
+				recv, ok := pkg.Info.Types[sel.X]
+				if !ok || namedNameOf(recv.Type) != "Registry" {
+					return true
+				}
+				msgTV, ok1 := pkg.Info.Types[call.Args[0]]
+				codecTV, ok2 := pkg.Info.Types[call.Args[1]]
+				if !ok1 || !ok2 {
+					return true
+				}
+				regs = append(regs, registration{
+					call:      call,
+					msgType:   msgTV.Type,
+					codecType: codecTV.Type,
+					enclosing: enclosing,
+				})
+				return true
+			})
+		}
+	}
+	return regs, funcDecls
+}
+
+// fuzzIdentSets collects, for each Fuzz* function in the package's test
+// files, the set of identifier names its body mentions.
+func fuzzIdentSets(pkg *Package) []map[string]bool {
+	var sets []map[string]bool
+	for _, f := range pkg.TestFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || len(fd.Name.Name) < 5 || fd.Name.Name[:4] != "Fuzz" {
+				continue
+			}
+			refs := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					refs[id.Name] = true
+				}
+				return true
+			})
+			sets = append(sets, refs)
+		}
+	}
+	return sets
+}
+
+// optionsLinks scans for Options wiring: constructors whose registries are
+// installed as Options.Codecs, and the combiner function bodies installed
+// as Options.Combiner (either in the composite literal or by a later field
+// assignment).
+func optionsLinks(pkg *Package, funcDecls map[*types.Func]*ast.FuncDecl) (map[*types.Func]bool, []*ast.BlockStmt) {
+	wire := map[*types.Func]bool{}
+	var combiners []*ast.BlockStmt
+	addCodecs := func(value ast.Expr) {
+		call, ok := ast.Unparen(value).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if fn := funcObj(pkg.Info, call); fn != nil {
+			wire[fn] = true
+		}
+	}
+	addCombiner := func(value ast.Expr) {
+		switch v := ast.Unparen(value).(type) {
+		case *ast.FuncLit:
+			combiners = append(combiners, v.Body)
+		default:
+			call := &ast.CallExpr{Fun: v} // reuse the callee resolver
+			if fn := funcObj(pkg.Info, call); fn != nil {
+				if fd := funcDecls[fn]; fd != nil && fd.Body != nil {
+					combiners = append(combiners, fd.Body)
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if namedNameOf(pkg.Info.Types[n].Type) != "Options" {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Codecs":
+						addCodecs(kv.Value)
+					case "Combiner":
+						addCombiner(kv.Value)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					base, ok := pkg.Info.Types[sel.X]
+					if !ok || namedNameOf(base.Type) != "Options" {
+						continue
+					}
+					switch sel.Sel.Name {
+					case "Codecs":
+						addCodecs(n.Rhs[i])
+					case "Combiner":
+						addCombiner(n.Rhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return wire, combiners
+}
+
+// combinerArmTypes collects the concrete types a combiner body can handle:
+// type-switch case types and type-assertion targets.
+func combinerArmTypes(pkg *Package, bodies []*ast.BlockStmt) []types.Type {
+	var arms []types.Type
+	for _, body := range bodies {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSwitchStmt:
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						if tv, ok := pkg.Info.Types[expr]; ok && tv.IsType() {
+							arms = append(arms, tv.Type)
+						}
+					}
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type != nil {
+					if tv, ok := pkg.Info.Types[n.Type]; ok {
+						arms = append(arms, tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return arms
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func namedNameOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if n := namedOf(t); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func hasMethod(t types.Type, name string) bool {
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return true // interface values promise the full Codec contract
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

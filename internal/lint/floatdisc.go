@@ -1,0 +1,201 @@
+package lint
+
+// float-discipline: raw float64 accumulation on patched gain accumulators.
+// The incremental engine's headline guarantee — a patched accumulator is
+// bit-identical to a from-scratch rebuild — holds only because every value
+// folded into an accumulator is a dyadic-grid table delta produced by
+// GainTables.DeltaOwn/DeltaAway (exact float64 arithmetic, associative and
+// commutative on the grid). A raw `+=` of anything else (a product, a
+// division, an unquantized constant) reintroduces rounding, and the
+// patched-vs-rebuilt property tests only catch it if the round-off happens
+// to surface on sampled inputs.
+//
+// Protected fields are float64 (or []float64) struct fields that either
+// carry the builtin accumulator names (accOwn/accOth/sumCur/sumOth) or are
+// designated with //shp:gainacc(reason). On those, `x += e`, `x -= e`, and
+// `x = x ± e` are flagged unless e is a direct DeltaOwn/DeltaAway call.
+// Plain assignment (`x = e`) is a rebuild and always allowed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var floatDisciplineAnalyzer = &Analyzer{
+	Name:     "float-discipline",
+	Doc:      "gain accumulators must be patched through GainTables.DeltaOwn/DeltaAway",
+	Suppress: "rawfloat",
+	Run:      runFloatDiscipline,
+}
+
+// builtinAccumulatorNames are the known patched Equation-1 accumulator
+// fields; //shp:gainacc designates additional ones.
+var builtinAccumulatorNames = map[string]bool{
+	"accOwn": true, "accOth": true, "sumCur": true, "sumOth": true,
+}
+
+func runFloatDiscipline(pkg *Package) []Diagnostic {
+	if !pkg.Deterministic {
+		return nil
+	}
+	protected := protectedFields(pkg)
+	if len(protected) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, name string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "float-discipline",
+			Message: fmt.Sprintf("raw float accumulation on gain accumulator %s: patch through GainTables.DeltaOwn/DeltaAway so patched stays bit-identical to rebuilt, or annotate //shp:rawfloat(reason)",
+				name),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			obj := accumulatorTarget(pkg, as.Lhs[0], protected)
+			if obj == nil {
+				return true
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if !isTableDelta(pkg, as.Rhs[0]) {
+					report(as.Pos(), obj.Name())
+				}
+			case token.ASSIGN:
+				// x = x ± e is accumulation in disguise.
+				be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+				if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+					return true
+				}
+				if sameAccumulatorRef(pkg, as.Lhs[0], be.X, protected) && !isTableDelta(pkg, be.Y) {
+					report(as.Pos(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// protectedFields collects the struct-field objects under float discipline:
+// float64 or []float64 fields with a builtin accumulator name or a
+// //shp:gainacc designation on the field declaration.
+func protectedFields(pkg *Package) map[types.Object]bool {
+	protected := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pkg.Info.Types[field.Type]
+				if !ok || !isFloatOrFloatSlice(tv.Type) {
+					continue
+				}
+				designated := hasGainAccComment(field.Doc) || hasGainAccComment(field.Comment)
+				for _, name := range field.Names {
+					if designated || builtinAccumulatorNames[name.Name] {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							protected[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return protected
+}
+
+func hasGainAccComment(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, "//shp:gainacc(") {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloatOrFloatSlice(t types.Type) bool {
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		t = sl.Elem()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// accumulatorTarget resolves an assignment LHS (field selector, or index
+// into a slice-valued field) to a protected field object.
+func accumulatorTarget(pkg *Package, lhs ast.Expr, protected map[types.Object]bool) types.Object {
+	e := ast.Unparen(lhs)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj != nil && protected[obj] {
+		return obj
+	}
+	return nil
+}
+
+// sameAccumulatorRef reports whether a and b refer to the same protected
+// accumulator element (same field object, syntactically equal base/index).
+func sameAccumulatorRef(pkg *Package, a, b ast.Expr, protected map[types.Object]bool) bool {
+	oa := accumulatorTarget(pkg, a, protected)
+	ob := accumulatorTarget(pkg, b, protected)
+	return oa != nil && oa == ob && exprEqual(pkg, a, b)
+}
+
+// exprEqual structurally compares ident/selector/index chains, resolving
+// idents through the type info so shadowing cannot fake a match.
+func exprEqual(pkg *Package, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ea := a.(type) {
+	case *ast.Ident:
+		eb, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		oa := pkg.Info.Uses[ea]
+		ob := pkg.Info.Uses[eb]
+		return oa != nil && oa == ob
+	case *ast.SelectorExpr:
+		eb, ok := b.(*ast.SelectorExpr)
+		return ok && pkg.Info.Uses[ea.Sel] == pkg.Info.Uses[eb.Sel] &&
+			pkg.Info.Uses[ea.Sel] != nil && exprEqual(pkg, ea.X, eb.X)
+	case *ast.IndexExpr:
+		eb, ok := b.(*ast.IndexExpr)
+		return ok && exprEqual(pkg, ea.X, eb.X) && exprEqual(pkg, ea.Index, eb.Index)
+	}
+	return false
+}
+
+// isTableDelta reports whether e is a direct call to a DeltaOwn/DeltaAway
+// method — the sanctioned patch arithmetic.
+func isTableDelta(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || fn.Signature().Recv() == nil {
+		return false
+	}
+	return fn.Name() == "DeltaOwn" || fn.Name() == "DeltaAway"
+}

@@ -1,0 +1,245 @@
+package lint
+
+// Package loading without golang.org/x/tools: `go list -deps -export -json`
+// enumerates the target packages plus every dependency and materializes
+// compiler export data for each (the build cache makes this cheap after any
+// build). Module packages are then parsed and type-checked from source with
+// an importer that reads that export data, so the whole module loads with
+// nothing beyond the standard library.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	Export      string
+	Standard    bool
+	GoFiles     []string
+	TestGoFiles []string
+	Module      *struct{ Path string }
+	Error       *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir for the given patterns.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,GoFiles,TestGoFiles,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.Importer from a map of import path →
+// export-data file produced by `go list -export`.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Load enumerates, parses, and type-checks the module packages matching
+// patterns, resolved relative to dir. Dependencies (standard library
+// included) come from export data; only module packages are analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		pkg, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package. In-package test files
+// are parsed (for the fuzz-target scan) but kept out of the type-checked set
+// so test-only dependencies need no export data.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	files, err := parseAll(fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parseAll(fset, lp.Dir, lp.TestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:          lp.ImportPath,
+		Name:          lp.Name,
+		Fset:          fset,
+		Files:         files,
+		TestFiles:     testFiles,
+		Types:         tpkg,
+		Info:          info,
+		Deterministic: deterministicPackages[lp.Name],
+	}, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files outside the
+// module build (the golden testdata packages). Imports resolve through `go
+// list -export` run from moduleDir, so testdata may import the standard
+// library or module packages.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles, testGoFiles []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if filepath.Ext(name) != ".go" {
+			continue
+		}
+		if len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go" {
+			testGoFiles = append(testGoFiles, name)
+		} else {
+			goFiles = append(goFiles, name)
+		}
+	}
+	sort.Strings(goFiles)
+	sort.Strings(testGoFiles)
+	fset := token.NewFileSet()
+	files, err := parseAll(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parseAll(fset, dir, testGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the testdata package's imports through the real toolchain.
+	importSet := map[string]bool{}
+	for _, f := range append(append([]*ast.File{}, files...), testFiles...) {
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			importSet[path[1:len(path)-1]] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(moduleDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	name := "testdata"
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		Path:          name,
+		Name:          name,
+		Fset:          fset,
+		Files:         files,
+		TestFiles:     testFiles,
+		Types:         tpkg,
+		Info:          info,
+		Deterministic: deterministicPackages[name],
+	}, nil
+}
+
+func parseAll(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+// maprange: `range` over a map in a deterministic package. Go randomizes map
+// iteration order per run, so any map range whose body's effect depends on
+// visit order (merging aggregators, emitting wire bytes, pairing histogram
+// directions) silently breaks the byte-identical contract. Two shapes are
+// provably safe and pass without annotation:
+//
+//   - `for range m { ... }` with no iteration variables: the body cannot
+//     observe order, only cardinality.
+//   - the collect-then-sort idiom: a body consisting solely of appends to
+//     local slices, where each slice's next use is a canonical sort
+//     (sort.Strings/Ints/Slice/..., slices.Sort/SortFunc/...).
+//
+// Everything else needs //shp:ordered(reason) stating why order is
+// immaterial at that site.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+var mapRangeAnalyzer = &Analyzer{
+	Name:     "maprange",
+	Doc:      "flag nondeterministic map iteration in deterministic packages",
+	Suppress: "ordered",
+	Run:      runMapRange,
+}
+
+func runMapRange(pkg *Package) []Diagnostic {
+	if !pkg.Deterministic {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		parents := stmtLists(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if blankOrNil(rs.Key) && blankOrNil(rs.Value) {
+				return true // order unobservable: body sees neither key nor value
+			}
+			if followedByCanonicalSort(pkg, parents, rs) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(rs.For),
+				Analyzer: "maprange",
+				Message: fmt.Sprintf("iteration over map %s: order is randomized per run; iterate a sorted key slice or annotate //shp:ordered(reason)",
+					types.TypeString(tv.Type, types.RelativeTo(pkg.Types))),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func blankOrNil(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// stmtList locates a statement within its enclosing statement list.
+type stmtList struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// stmtLists indexes every statement in the file by its enclosing list, so an
+// analyzer can look at what follows a given statement.
+func stmtLists(f *ast.File) map[ast.Stmt]stmtList {
+	m := map[ast.Stmt]stmtList{}
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			m[s] = stmtList{list, i}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return m
+}
+
+// followedByCanonicalSort reports whether rs is the collect-then-sort idiom:
+// every body statement appends to a slice variable, and each such slice's
+// first subsequent use in the enclosing list is as the argument of a
+// recognized canonical sort.
+func followedByCanonicalSort(pkg *Package, parents map[ast.Stmt]stmtList, rs *ast.RangeStmt) bool {
+	targets := map[types.Object]bool{}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || arg0.Name != lhs.Name {
+			return false
+		}
+		obj := pkg.Info.Uses[lhs]
+		if obj == nil {
+			obj = pkg.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	loc, ok := parents[ast.Stmt(rs)]
+	if !ok {
+		return false
+	}
+	for obj := range targets {
+		if !nextUseIsSort(pkg, loc.list[loc.idx+1:], obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextUseIsSort scans the statements after the range in order; the first one
+// mentioning obj must contain a canonical sort call with obj as its first
+// argument.
+func nextUseIsSort(pkg *Package, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		mentioned := false
+		sorted := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				mentioned = true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isCanonicalSort(pkg, call) {
+				return true
+			}
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pkg.Info.Uses[arg] == obj {
+				sorted = true
+			}
+			return true
+		})
+		if mentioned {
+			return sorted
+		}
+	}
+	return false
+}
+
+// canonicalSortFuncs are the package-level functions accepted as canonical
+// sorts of a collected key/value slice.
+var canonicalSortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func isCanonicalSort(pkg *Package, call *ast.CallExpr) bool {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := canonicalSortFuncs[fn.Pkg().Path()]
+	return ok && names[fn.Name()]
+}

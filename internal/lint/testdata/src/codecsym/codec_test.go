@@ -1,0 +1,12 @@
+package distshp
+
+import "testing"
+
+// FuzzPingCodec references the wire-registry constructor, covering every
+// codec registered inside it.
+func FuzzPingCodec(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := newReg()
+		_ = reg
+	})
+}

@@ -1,0 +1,38 @@
+// Golden input for the float-discipline analyzer. The package is named core
+// so the deterministic-package gate applies by name.
+package core
+
+// tables stands in for core.GainTables: DeltaOwn/DeltaAway are the
+// sanctioned patch arithmetic.
+type tables struct{}
+
+func (tables) DeltaOwn(old, new int) float64  { return 0 }
+func (tables) DeltaAway(old, new int) float64 { return 0 }
+
+type state struct {
+	// accOwn carries a builtin accumulator name: protected automatically.
+	accOwn []float64
+	// total is designated a gain accumulator by annotation.
+	total float64 //shp:gainacc(golden: designated Equation-1 accumulator)
+	// scratch is an ordinary float: unprotected.
+	scratch float64
+}
+
+func patch(st *state, t tables, v, old, new int) {
+	st.accOwn[v] += 0.1 // want "raw float accumulation"
+
+	// Direct table deltas are the sanctioned arithmetic: allowed.
+	st.accOwn[v] += t.DeltaOwn(old, new)
+	st.accOwn[v] -= t.DeltaAway(old, new)
+
+	// x = x + e is accumulation in disguise: flagged on designated fields.
+	st.total = st.total + 0.5 // want "raw float accumulation"
+
+	// Unprotected fields accumulate freely.
+	st.scratch += 0.5
+
+	// Plain assignment is a rebuild, not a patch: allowed.
+	st.total = 0
+
+	st.accOwn[v] -= 0.25 //shp:rawfloat(golden: operand is a hoisted table value on the same grid)
+}

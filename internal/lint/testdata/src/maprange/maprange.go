@@ -1,0 +1,49 @@
+// Golden input for the maprange analyzer. The package is named core so the
+// deterministic-package gate applies by name.
+package core
+
+import "sort"
+
+// merge iterates a map with observable order: flagged.
+func merge(dst, src map[string]int) {
+	for k, v := range src { // want "iteration over map"
+		dst[k] += v
+	}
+}
+
+// mergeJustified carries a suppression on the line above the range.
+func mergeJustified(dst, src map[string]int) {
+	//shp:ordered(golden: writes to distinct keys commute)
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// keys is the collect-then-sort idiom: every body statement appends to a
+// local slice whose next use is a canonical sort. No finding.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count ranges with no iteration variables: order unobservable. No finding.
+func count(m map[string]struct{}) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// collectUnsorted looks like collect-then-sort but never sorts: flagged.
+func collectUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "iteration over map"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Golden input for the nondet-sources analyzer. The package is named pregel
+// so the deterministic-package gate applies by name.
+package pregel
+
+import (
+	"math/rand"
+	"time"
+)
+
+// shuffle reads the global math/rand source: flagged.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// seeded builds an explicitly seeded generator: allowed.
+func seeded(xs []int) {
+	r := rand.New(rand.NewSource(42))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// stamp reads the wall clock into a result: flagged.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read"
+}
+
+// elapsed is wall-clock timing for stats only, so it is annotated.
+func elapsed(f func()) time.Duration {
+	start := time.Now() //shp:nondet(golden: timing stats only, never feeds results)
+	f()
+	return time.Since(start) //shp:nondet(golden: timing stats only, never feeds results)
+}
+
+// pick races two channels: the runtime chooses a ready case at random.
+func pick(a, b chan int) int {
+	select { // want "select over 2 channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// drain selects over a single channel plus default: not a race, allowed.
+func drain(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

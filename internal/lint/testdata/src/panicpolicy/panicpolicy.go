@@ -1,0 +1,42 @@
+// Golden input for the panic-policy analyzer. Any library package name
+// works; panic-policy is not gated on the deterministic set.
+package core
+
+import "errors"
+
+var errCorrupt = errors.New("corrupt")
+
+// explode panics with a bare string: flagged.
+func explode() {
+	panic("state corrupt") // want "panic in library package"
+}
+
+// assertInvariant is a justified invariant assertion.
+func assertInvariant(ok bool) {
+	if !ok {
+		//shp:panics(golden: continuing would corrupt shared state)
+		panic("invariant violated")
+	}
+}
+
+// typed panics with an error value: the typed-panic protocol, where a
+// recover boundary converts it into a returned error. Allowed.
+func typed() {
+	panic(errCorrupt)
+}
+
+// guarded re-panics on its recovery path after filtering typed panics:
+// allowed.
+func guarded(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}

@@ -46,9 +46,11 @@ func NewRegistry() *Registry {
 func (r *Registry) Register(sample Message, c Codec) {
 	t := reflect.TypeOf(sample)
 	if _, dup := r.byType[t]; dup {
+		//shp:panics(invariant: registration happens once at wiring time before any superstep; a duplicate is a programming error)
 		panic(fmt.Sprintf("pregel: codec for %v registered twice", t))
 	}
 	if len(r.byID) == 256 {
+		//shp:panics(invariant: the kind byte is 8 bits; overflow at wiring time is a programming error, not runtime input)
 		panic("pregel: codec registry full")
 	}
 	r.byType[t] = uint8(len(r.byID))

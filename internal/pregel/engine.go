@@ -238,9 +238,20 @@ func (e *Engine) Run() (*Stats, error) {
 		}
 		ss.BytesSent = wireBytes
 
+		// Merge worker aggregators worker-major, name-ascending: merge order
+		// must never depend on Go map layout, because Merge implementations
+		// may be order-sensitive (distshp's proposalAgg adopts histogram
+		// pointers on first sight).
 		merged := map[string]Aggregator{}
+		var mergedNames []string
 		for _, w := range e.workers {
-			for name, agg := range w.aggregators {
+			names := make([]string, 0, len(w.aggregators))
+			for name := range w.aggregators {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				agg := w.aggregators[name]
 				// Aggregator wire accounting: what each worker's accumulated
 				// value would cost to ship to the master, summed before the
 				// in-process merge collapses it.
@@ -251,13 +262,15 @@ func (e *Engine) Run() (*Stats, error) {
 					m.Merge(agg)
 				} else {
 					merged[name] = agg
+					mergedNames = append(mergedNames, name)
 				}
 			}
 			w.aggregators = map[string]Aggregator{}
 		}
+		sort.Strings(mergedNames)
 		e.aggregated = map[string]interface{}{}
-		for name, agg := range merged {
-			e.aggregated[name] = agg.Value()
+		for _, name := range mergedNames {
+			e.aggregated[name] = merged[name].Value()
 		}
 
 		e.stats.PerSuperstep = append(e.stats.PerSuperstep, ss)
@@ -271,6 +284,7 @@ func (e *Engine) Run() (*Stats, error) {
 		if e.opts.Master != nil {
 			var set map[string]interface{}
 			halt, set = e.opts.Master(step, e.aggregated)
+			//shp:ordered(distinct keys written into a map; insertion order is unobservable)
 			for name, v := range set {
 				e.aggregated[name] = v
 			}

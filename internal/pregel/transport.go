@@ -306,6 +306,7 @@ func (t *tcpTransport) writeFrame(e *Engine, src, dst, step int) (int64, error) 
 	t.encBuf[src][dst] = buf
 	conn := t.send[src][dst]
 	if d := e.opts.FrameTimeout; d > 0 {
+		//shp:nondet(I/O deadline: wall time bounds a syscall, never feeds computation)
 		conn.SetWriteDeadline(time.Now().Add(d))
 	}
 	if _, err := conn.Write(buf); err != nil {
@@ -321,6 +322,7 @@ func (t *tcpTransport) readFrame(e *Engine, src, dst, step int) error {
 	if d := e.opts.FrameTimeout; d > 0 {
 		// One deadline covers the whole frame: a peer that stalls mid-frame
 		// is as dead as one that never sends the header.
+		//shp:nondet(I/O deadline: wall time bounds a syscall, never feeds computation)
 		conn.SetReadDeadline(time.Now().Add(d))
 	}
 	var header [frameHeaderSize]byte

@@ -54,6 +54,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//shp:panics(contract parity with math/rand.Intn: a non-positive bound is a caller bug)
 		panic("rng: Intn with non-positive n")
 	}
 	return int(r.Uint64n(uint64(n)))
@@ -62,6 +63,7 @@ func (r *RNG) Intn(n int) int {
 // Int31n returns a uniform int32 in [0, n). It panics if n <= 0.
 func (r *RNG) Int31n(n int32) int32 {
 	if n <= 0 {
+		//shp:panics(contract parity with math/rand.Int31n: a non-positive bound is a caller bug)
 		panic("rng: Int31n with non-positive n")
 	}
 	return int32(r.Uint64n(uint64(n)))
@@ -71,6 +73,7 @@ func (r *RNG) Int31n(n int32) int32 {
 // Uses Lemire's multiply-shift rejection method to avoid modulo bias.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//shp:panics(contract parity with math/rand: a zero bound is a caller bug)
 		panic("rng: Uint64n with zero n")
 	}
 	// Fast path for powers of two.

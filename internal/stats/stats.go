@@ -178,6 +178,7 @@ type ExpHistogram struct {
 // growth factor (> 1), and bin count.
 func NewExpHistogram(base, growth float64, bins int) *ExpHistogram {
 	if base <= 0 || growth <= 1 || bins <= 0 {
+		//shp:panics(constructor contract: histogram shape parameters are compile-time constants at every call site)
 		panic("stats: invalid ExpHistogram parameters")
 	}
 	return &ExpHistogram{Base: base, Growth: growth, Counts: make([]int64, bins)}
