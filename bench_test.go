@@ -540,3 +540,98 @@ func BenchmarkScalingK(b *testing.B) {
 		})
 	}
 }
+
+// ---- Serving plane ----
+
+// servingService builds an AssignService over a private clone of a bench
+// graph (the service's churn mutates its graph; the cache must stay clean).
+func servingService(b *testing.B, budget int64) *shp.AssignService {
+	b.Helper()
+	g := benchGraph(b, "social-small").Clone()
+	svc, err := shp.NewAssignService(g, shp.AssignServiceOptions{
+		Core: shp.Options{K: 16, Direct: true, Seed: 5, MigrationBudget: budget},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkAssignLookup measures raw lookup throughput against a static
+// epoch — the serving plane's hot path: one atomic pointer load plus one
+// slice index per call.
+func BenchmarkAssignLookup(b *testing.B) {
+	svc := servingService(b, 0)
+	n := int32(len(svc.Current().Assignment))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink int32
+		v := int32(0)
+		for pb.Next() {
+			bk, _, err := svc.Assign(v)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			sink ^= bk
+			v += 7
+			if v >= n {
+				v -= n
+			}
+		}
+		_ = sink
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkEpochSwap measures the serve-while-repartitioning cycle: each
+// op is one full churn epoch (generate delta, apply, refine under a
+// migration budget, swap) while background goroutines hammer lookups the
+// whole time. The reported p99 is the sampled lookup latency *including*
+// swap interference — the number a serving fleet cares about.
+func BenchmarkEpochSwap(b *testing.B) {
+	svc := servingService(b, 500)
+	churn, err := svc.NewChurn(0.02, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int32(len(svc.Current().Assignment))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var sink int32
+			v := int32(worker)
+			for {
+				select {
+				case <-stop:
+					_ = sink
+					return
+				default:
+				}
+				bk, _, err := svc.Assign(v)
+				if err == nil {
+					sink ^= bk
+				}
+				v += 11
+				if v >= n {
+					v -= n
+				}
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.ChurnEpoch(churn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	st := svc.Stats()
+	b.ReportMetric(float64(st.P99), "lookup-p99-ns")
+	b.ReportMetric(float64(st.Lookups)/b.Elapsed().Seconds(), "lookups/s")
+}

@@ -47,3 +47,47 @@ func Example_partitionerSession() {
 	// initial fanout: 1.667
 	// after delta: 4 queries over 8 records, fanout 1.500
 }
+
+// Example_servingPlane shows the assignment serving plane: a partitioner
+// embedded in a service that answers assign(vertex) lookups from an
+// immutable epoch snapshot, absorbs churn in the background, and swaps
+// refreshed epochs in atomically — with a hard MigrationBudget bounding
+// how many records each swap may move (every move is a data copy for the
+// serving fleet).
+func Example_servingPlane() {
+	g, err := shp.GenerateSocialEgoNets(2000, 10, 50, 0.85, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := shp.NewAssignService(g, shp.AssignServiceOptions{
+		Core: shp.Options{K: 8, Direct: true, Seed: 7, MigrationBudget: 64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bucket, epoch, err := svc.Assign(123)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vertex 123 -> bucket %d (epoch %d)\n", bucket, epoch)
+
+	// Background churn: each cycle applies a generated delta batch,
+	// refines under the budget, and publishes the next epoch. Lookups
+	// running concurrently would never block on this.
+	churn, err := svc.NewChurn(0.03, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ep, err := svc.ChurnEpoch(churn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d: moved %d records (budget 64)\n", ep.ID, ep.Moved)
+	}
+	// Output:
+	// vertex 123 -> bucket 1 (epoch 0)
+	// epoch 1: moved 63 records (budget 64)
+	// epoch 2: moved 20 records (budget 64)
+	// epoch 3: moved 20 records (budget 64)
+}

@@ -148,6 +148,15 @@ type directState struct {
 	pairMerge *pairAcc
 	probTabs  []ProbTable
 
+	// Migration-budget state (nil/inactive unless Options.MigrationBudget is
+	// set and an epoch reference exists): migRef is the epoch-start
+	// assignment the budget is charged against, migrated the current count
+	// of vertices off their reference bucket, costlyBuf the reusable
+	// admission-scratch of applyMoves' budget filter.
+	migRef    []int32
+	migrated  int64
+	costlyBuf []int32
+
 	// gainWork counts Equation 1 work units (one per neighbor query walked
 	// in a vertex rebuild); scanWork counts per-vertex visits in the
 	// selection/coin/trim loops; lastFrontier is the vertex count the most
@@ -333,7 +342,72 @@ func newDirectState(g *hypergraph.Bipartite, opts Options, seed uint64, spans []
 	} else {
 		st.randomInit()
 	}
+	if opts.MigrationBudget != 0 && opts.Initial != nil {
+		// Cold warm-start with a budget: the epoch reference is the initial
+		// assignment after the deterministic balance repair (feasibility
+		// outranks migration cost). Sessions re-snapshot this per epoch.
+		st.migRef = append([]int32(nil), st.bucket...)
+	}
 	return st
+}
+
+// budgetRemaining returns how many more records this epoch may still move
+// away from the reference assignment, or -1 when no budget is active.
+func (st *directState) budgetRemaining() int64 {
+	if st.migRef == nil || st.opts.MigrationBudget == 0 {
+		return -1
+	}
+	budget := st.opts.MigrationBudget
+	if budget < 0 {
+		budget = 0 // MigrationFrozen and friends: a budget of exactly zero
+	}
+	if remaining := budget - st.migrated; remaining > 0 {
+		return remaining
+	}
+	return 0
+}
+
+// enforceMigrationBudget drops the lowest-gain budget-consuming moves from
+// the decided list until the remaining budget can absorb the batch. A move
+// consumes budget exactly when it takes a vertex off its epoch-start bucket;
+// moves of already-migrated vertices (including returns to the reference)
+// are free. In-batch returns do not refund budget until the next iteration,
+// which is what makes the invariant trim-proof: however the balance trim
+// later edits the batch, at most `remaining` vertices can newly leave their
+// reference bucket, so migrated never exceeds the budget. Admission is
+// highest-gain-first with ties to the lower vertex id; the surviving list
+// keeps its ascending-vertex order (the canonical apply order).
+func (st *directState) enforceMigrationBudget(list []int32, remaining int64) []int32 {
+	costly := st.costlyBuf[:0]
+	for _, v := range list {
+		if st.bucket[v] == st.migRef[v] {
+			costly = append(costly, v)
+		}
+	}
+	st.costlyBuf = costly
+	if int64(len(costly)) <= remaining {
+		return list // everything fits: the batch is untouched, bit for bit
+	}
+	slices.SortFunc(costly, func(a, b int32) int {
+		ga, gb := st.gains[a], st.gains[b]
+		if ga > gb {
+			return -1
+		}
+		if ga < gb {
+			return 1
+		}
+		return int(a - b)
+	})
+	for _, v := range costly[remaining:] {
+		st.decided[v] = false
+	}
+	out := list[:0]
+	for _, v := range list {
+		if st.decided[v] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // randomInit cuts a random permutation at the per-bucket weight targets,
@@ -947,6 +1021,9 @@ func (st *directState) applyMoves(iter int) []move {
 	for _, buf := range st.decWork {
 		list = append(list, buf...)
 	}
+	if remaining := st.budgetRemaining(); remaining >= 0 {
+		list = st.enforceMigrationBudget(list, remaining)
+	}
 	st.decidedList = list
 	// Phase 2 (serial, deterministic): apply all decided moves (so opposing
 	// flows cancel), then undo the lowest-gain arrivals of over-cap buckets
@@ -1033,6 +1110,19 @@ func (st *directState) applyMoves(iter int) []move {
 	// false), so the next iteration starts clean without an O(|D|) clear.
 	for _, m := range accepted {
 		decided[m.v] = false
+	}
+	if st.migRef != nil {
+		// Exact migration accounting: each accepted move changes the count of
+		// off-reference vertices by +1 (left the reference bucket), -1
+		// (returned to it), or 0 (moved between two non-reference buckets).
+		// Vertices appear at most once per batch, so the fold is exact.
+		for _, m := range accepted {
+			if m.from == st.migRef[m.v] {
+				st.migrated++
+			} else if st.bucket[m.v] == st.migRef[m.v] {
+				st.migrated--
+			}
+		}
 	}
 	st.appliedBuf = applied
 	return accepted
@@ -1266,5 +1356,6 @@ func partitionDirect(g *hypergraph.Bipartite, opts Options) (*Result, error) {
 		Iterations: len(st.history),
 		History:    st.history,
 		Work:       st.work,
+		Migrated:   st.migrated,
 	}, nil
 }

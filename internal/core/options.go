@@ -132,6 +132,35 @@ type Options struct {
 	// when a vertex would leave its initial bucket and increased when it
 	// would return. Only meaningful with Initial.
 	MoveCostPenalty float64
+	// MigrationBudget is the serving-plane objective: a hard cap on the
+	// number of records a refinement epoch may move away from the assignment
+	// it started from. In a serving system every move is a data copy, so the
+	// soft MoveCostPenalty is not enough — operators need an exact bound on
+	// migration traffic per epoch. Semantics:
+	//
+	//	 0  no budget (the default): refinement moves freely, byte-identical
+	//	    to runs predating the knob;
+	//	>0  at most this many records end the epoch on a bucket other than
+	//	    the one they started it on. Move selection admits the
+	//	    budget-consuming moves highest-gain-first (ties to the lower
+	//	    vertex id); moves of already-migrated vertices — including moves
+	//	    returning them to their starting bucket — never consume budget.
+	//	    A record moved back frees its budget slot for the next
+	//	    iteration, not the current one, so the invariant
+	//	    "records off their epoch-start bucket <= budget" holds after
+	//	    every iteration regardless of how the balance trim edits a
+	//	    batch;
+	//	<0  (MigrationFrozen) a budget of zero: no record leaves its
+	//	    starting bucket, only new vertices are placed.
+	//
+	// The budget binds the direct k-way refiner — Session.Repartition
+	// epochs, and Direct one-shot runs warm-started from Initial (the
+	// epoch-start reference is Initial after the deterministic balance
+	// repair). Deterministic balance repairs and new-vertex placement are
+	// exempt: they run before the epoch reference is snapshotted, since
+	// feasibility outranks migration cost. The recursive strategy does not
+	// support budgets (validate rejects the combination with Initial).
+	MigrationBudget int64
 	// DisableIncremental turns off the incremental refinement engine: every
 	// iteration rebuilds the per-query neighbor data from scratch and
 	// recomputes proposals for all data vertices, instead of maintaining
@@ -147,6 +176,13 @@ type Options struct {
 	// 0 means the default of 64; negative disables the safety net.
 	NDRebuildEvery int
 }
+
+// MigrationFrozen is the MigrationBudget value for a budget of exactly zero
+// moved records: the assignment is frozen and refinement may only place new
+// vertices. (The zero value of MigrationBudget means "no budget", so the
+// frozen state needs a distinct sentinel; any negative value behaves the
+// same.)
+const MigrationFrozen int64 = -1
 
 // withDefaults returns a copy with defaults filled in.
 func (o Options) withDefaults() Options {
@@ -205,6 +241,9 @@ func (o Options) validate(numData int) error {
 	}
 	if o.MoveCostPenalty < 0 {
 		return errors.New("core: MoveCostPenalty must be >= 0")
+	}
+	if o.MigrationBudget != 0 && o.Initial != nil && !o.Direct {
+		return errors.New("core: MigrationBudget requires Direct mode when Initial is set (the recursive strategy does not enforce budgets)")
 	}
 	return nil
 }

@@ -65,4 +65,9 @@ type Result struct {
 	Work []WorkStats
 	// Elapsed is the wall-clock partitioning time.
 	Elapsed time.Duration
+	// Migrated is the number of records that ended the epoch on a bucket
+	// other than the one they started it on — the serving-plane migration
+	// traffic the epoch causes. Only tracked when Options.MigrationBudget is
+	// set (it is then <= the budget, pinned by test); 0 otherwise.
+	Migrated int64
 }

@@ -176,6 +176,14 @@ func (s *Session) Repartition() (*Result, error) {
 		st.opts.Initial = append(st.opts.Initial[:0], st.bucket...)
 		st.forceSelect = true
 	}
+	if s.opts.MigrationBudget != 0 {
+		// Re-snapshot the migration-budget reference: the budget is charged
+		// against this epoch's starting assignment (after new-vertex
+		// placement and balance repair, which are feasibility work rather
+		// than migrations), and the epoch starts with a full budget.
+		st.migRef = append(st.migRef[:0], st.bucket...)
+		st.migrated = 0
+	}
 	st.history = st.history[:0]
 	st.work = st.work[:0]
 	st.refine()
@@ -192,6 +200,7 @@ func (s *Session) Repartition() (*Result, error) {
 		History:    append([]IterStats(nil), st.history...),
 		Work:       append([]WorkStats(nil), st.work...),
 		Elapsed:    time.Since(start), //shp:nondet(wall timing for Result.Elapsed only; never feeds the assignment)
+		Migrated:   st.migrated,
 	}
 	s.last = res
 	return res, nil

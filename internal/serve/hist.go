@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log-linear histogram of lookup latencies:
+// one octave per power-of-two nanosecond range, four linear sub-buckets per
+// octave (~19% relative resolution), atomic counters throughout. Writers
+// only ever Add; readers sum a snapshot. Both sides are wait-free, which is
+// the point — latency telemetry must not perturb the latencies it measures.
+type latencyHist struct {
+	// bins[e*histSub+s] counts samples with bit length e+1 and sub-bucket s.
+	// 40 octaves cover 1ns through ~18 minutes; anything longer clamps into
+	// the last bin.
+	bins [histOctaves * histSub]atomic.Uint64
+}
+
+const (
+	histOctaves = 40
+	histSub     = 4
+)
+
+// binIndex maps a duration to its bin.
+func binIndex(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	if ns < 1 {
+		ns = 1
+	}
+	e := bits.Len64(ns) - 1 // octave: floor(log2 ns)
+	s := 0
+	if e >= 2 {
+		s = int((ns >> (uint(e) - 2)) & 3) // top-two mantissa bits
+	}
+	idx := e*histSub + s
+	if idx >= histOctaves*histSub {
+		idx = histOctaves*histSub - 1
+	}
+	return idx
+}
+
+// binValue is the representative (lower-bound) duration of a bin.
+func binValue(idx int) int64 {
+	e := idx / histSub
+	s := idx % histSub
+	v := int64(1) << uint(e)
+	if e >= 2 {
+		v += int64(s) << (uint(e) - 2)
+	}
+	return v
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.bins[binIndex(d)].Add(1)
+}
+
+// summary returns the sample count and the p50/p99 latencies in
+// nanoseconds (bin lower bounds; zero when empty). The snapshot is not
+// atomic across bins — percentiles under load are approximate by up to the
+// samples that land mid-scan, which telemetry tolerates.
+func (h *latencyHist) summary() (samples uint64, p50, p99 int64) {
+	var counts [histOctaves * histSub]uint64
+	var total uint64
+	for i := range h.bins {
+		counts[i] = h.bins[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	quantile := func(q float64) int64 {
+		target := uint64(q * float64(total))
+		if target >= total {
+			target = total - 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen > target {
+				return binValue(i)
+			}
+		}
+		return binValue(len(counts) - 1)
+	}
+	return total, quantile(0.50), quantile(0.99)
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBinIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{0, 1, 2, 3, 4, 7, 8, 100, time.Microsecond,
+		1500, 10 * time.Microsecond, time.Millisecond, time.Second, time.Hour} {
+		idx := binIndex(d)
+		if idx < prev {
+			t.Fatalf("binIndex(%v) = %d below previous %d", d, idx, prev)
+		}
+		if idx < 0 || idx >= histOctaves*histSub {
+			t.Fatalf("binIndex(%v) = %d out of range", d, idx)
+		}
+		prev = idx
+	}
+	if binIndex(1000*time.Hour) != histOctaves*histSub-1 {
+		t.Fatal("huge duration should clamp to the last bin")
+	}
+}
+
+func TestBinValueBracketsInput(t *testing.T) {
+	for ns := int64(1); ns < int64(time.Minute); ns = ns*5 + 3 {
+		d := time.Duration(ns)
+		lo := binValue(binIndex(d))
+		// The representative is the bin's lower bound; log-linear bins are
+		// at most 25% wide, so the input is within [lo, 1.25*lo].
+		if lo > ns || ns > lo+lo/4+1 {
+			t.Fatalf("duration %d landed in bin starting %d", ns, lo)
+		}
+	}
+}
+
+func TestHistSummaryQuantiles(t *testing.T) {
+	var h latencyHist
+	if n, _, _ := h.summary(); n != 0 {
+		t.Fatal("empty histogram reports samples")
+	}
+	// 99 fast observations, 1 slow: p50 fast, p99 slow.
+	for i := 0; i < 99; i++ {
+		h.observe(100 * time.Nanosecond)
+	}
+	h.observe(time.Millisecond)
+	n, p50, p99 := h.summary()
+	if n != 100 {
+		t.Fatalf("samples = %d", n)
+	}
+	if p50 > 200 {
+		t.Fatalf("p50 = %dns for a fast-dominated distribution", p50)
+	}
+	if p99 < int64(time.Millisecond)/2 {
+		t.Fatalf("p99 = %dns should reflect the slow tail", p99)
+	}
+}

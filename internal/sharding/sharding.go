@@ -14,6 +14,7 @@ package sharding
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"shp/internal/hypergraph"
 	"shp/internal/partition"
@@ -134,15 +135,23 @@ func NewCluster(servers int, assignment partition.Assignment, model LatencyModel
 }
 
 // Query executes one multi-get for the given records: requests go to every
-// distinct server holding one of them. Returns the fanout and latency.
+// distinct server holding one of them, in ascending server order so the
+// per-request latency draws pair with request sizes deterministically.
+// Returns the fanout and latency.
 func (c *Cluster) Query(r *rng.RNG, records []int32) (int, float64) {
-	sizes := map[int32]int{}
-	for _, rec := range records {
-		sizes[c.assignment[rec]]++
+	servers := make([]int32, len(records))
+	for i, rec := range records {
+		servers[i] = c.assignment[rec]
 	}
-	reqs := make([]int, 0, len(sizes))
-	for _, s := range sizes {
-		reqs = append(reqs, s)
+	slices.Sort(servers)
+	reqs := make([]int, 0, len(servers))
+	for i := 0; i < len(servers); {
+		j := i + 1
+		for j < len(servers) && servers[j] == servers[i] {
+			j++
+		}
+		reqs = append(reqs, j-i)
+		i = j
 	}
 	return len(reqs), c.model.MultiGet(r, reqs)
 }

@@ -2,6 +2,7 @@ package sharding
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"shp/internal/core"
@@ -160,6 +161,28 @@ func TestSocialVsRandomSharding(t *testing.T) {
 	}
 	if ms.AvgLat >= mr.AvgLat {
 		t.Fatalf("social sharding latency %v not below random %v", ms.AvgLat, mr.AvgLat)
+	}
+}
+
+// TestReplayQueriesDeterministicWithSizeCost is the regression test for the
+// map-ordered request build in Cluster.Query: with SizeCost > 0 the latency
+// of a request depends on its size, so pairing sizes with latency draws in
+// map iteration order made identical replays disagree. Requests are now
+// built in ascending server order.
+func TestReplayQueriesDeterministicWithSizeCost(t *testing.T) {
+	g, err := gen.SocialEgoNets(800, 10, 40, 0.85, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const servers = 16
+	c, err := NewCluster(servers, partition.Random(g.NumData(), servers, 16), LatencyModel{SizeCost: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.ReplayQueries(g, 17, 1)
+	b := c.ReplayQueries(g, 17, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay with SizeCost > 0 not deterministic:\n%+v\nvs\n%+v", a, b)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"shp/internal/multilevel"
 	"shp/internal/partition"
 	"shp/internal/pregel"
+	"shp/internal/serve"
 	"shp/internal/sharding"
 )
 
@@ -430,4 +431,36 @@ func NewCluster(servers int, a Assignment, m LatencyModel) (*Cluster, error) {
 // (Figure 4a's experiment).
 func LatencyVsFanout(m LatencyModel, maxFanout, samples int, seed uint64) []sharding.PercentileRow {
 	return sharding.LatencyVsFanout(m, maxFanout, samples, seed)
+}
+
+// MigrationFrozen is the MigrationBudget value that freezes the assignment
+// outright: a repartition epoch may place new vertices but moves no
+// existing record.
+const MigrationFrozen = core.MigrationFrozen
+
+// AssignService is the assignment serving plane: a Partitioner embedded in
+// a service that answers assign(vertex) lookups lock-free from an immutable
+// epoch snapshot while the graph churns behind it. Repartitions build the
+// next epoch off to the side and publish it with one atomic pointer swap,
+// so lookups never block and never see a torn assignment. See
+// internal/serve for the full API (epoch metadata, churn driving, HTTP
+// handlers) and Options.MigrationBudget for bounding the per-epoch record
+// moves a swap may cause.
+type AssignService = serve.Service
+
+// AssignServiceOptions configures an AssignService.
+type AssignServiceOptions = serve.Options
+
+// AssignEpoch is one immutable routing-table generation of an
+// AssignService.
+type AssignEpoch = serve.Epoch
+
+// AssignStats is a snapshot of AssignService counters: lookup volume,
+// sampled p50/p99 latency, swap and migration totals.
+type AssignStats = serve.Stats
+
+// NewAssignService builds a serving plane over g and publishes its first
+// epoch before returning, so Assign is immediately answerable.
+func NewAssignService(g *Hypergraph, opts AssignServiceOptions) (*AssignService, error) {
+	return serve.New(g, opts)
 }
