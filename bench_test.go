@@ -517,6 +517,33 @@ func BenchmarkScalingWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelRefine is the shared-memory parallel plane's cores
+// sweep: cold SHP-2 partitions at 1/2/4/8 workers on the same graph and
+// seed, reporting edges/s plus speedup against the serial sub-benchmark
+// (w1 runs first and pins the baseline). Every point in the sweep computes
+// the byte-identical assignment — the Parallelism determinism contract —
+// so the curve measures pure execution speed, never quality drift.
+func BenchmarkParallelRefine(b *testing.B) {
+	g := benchGraph(b, "powerlaw-small")
+	var serialSecPerOp float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shp.Partition(g, shp.Options{K: 16, Seed: 1, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			secPerOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(g.NumEdges())/secPerOp, "edges/s")
+			if workers == 1 {
+				serialSecPerOp = secPerOp
+			} else if serialSecPerOp > 0 {
+				b.ReportMetric(serialSecPerOp/secPerOp, "speedup")
+			}
+		})
+	}
+}
+
 // BenchmarkScalingK measures run time vs bucket count: SHP-2 should be
 // logarithmic in k, SHP-k linear (the Table 3 contrast).
 func BenchmarkScalingK(b *testing.B) {

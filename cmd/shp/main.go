@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"shp"
+	"shp/internal/par"
 )
 
 func main() {
@@ -200,8 +201,8 @@ func run() error {
 	}
 	after := shp.Measure(g, res.Assignment, *k, *p)
 	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %v (%d iterations)\n", *k, res.Elapsed, res.Iterations)
-	fmt.Fprintf(os.Stderr, "throughput: %.4g edges/s (|E| / wall-clock)\n",
-		float64(g.NumEdges())/res.Elapsed.Seconds())
+	fmt.Fprintf(os.Stderr, "throughput: %.4g edges/s on %d workers (|E| / wall-clock; assignment identical for any -workers)\n",
+		float64(g.NumEdges())/res.Elapsed.Seconds(), par.Workers(*workers))
 	fmt.Fprintf(os.Stderr, "fanout:    random %.4f -> shp %.4f (%.1f%%)\n",
 		before.Fanout, after.Fanout, 100*(after.Fanout/before.Fanout-1))
 	fmt.Fprintf(os.Stderr, "p-fanout:  random %.4f -> shp %.4f\n", before.PFanout, after.PFanout)

@@ -141,9 +141,11 @@ type directState struct {
 	byDst       [][]move
 	dstSorted   []bool
 
-	// Dense pair-histogram scratch (k <= densePairK): per-worker and merged
-	// accumulators plus the per-pair probability tables, all reused across
-	// iterations so the move protocol performs no map operations.
+	// Dense pair-histogram scratch (k <= densePairK): per-shard (fixed
+	// vertex-range, see histShardCount — NOT per-worker, so the fold layout
+	// survives any Parallelism) and merged accumulators plus the per-pair
+	// probability tables, all reused across iterations so the move protocol
+	// performs no map operations. Resized when a warm session grows |D|.
 	pairAccs  []*pairAcc
 	pairMerge *pairAcc
 	probTabs  []ProbTable
@@ -194,10 +196,37 @@ const (
 const sweepFallbackDiv = 8
 
 // densePairK bounds the dense (from, to) pair index space: k*k int32 slots
-// per worker. Beyond it the histogram protocol falls back to maps; both
-// containers hold identical histograms, so results do not depend on the
-// choice.
+// per shard accumulator. Beyond it the histogram protocol falls back to
+// maps; both containers hold identical histograms, so results do not depend
+// on the choice.
 const densePairK = 128
+
+// histShardMin/histShardMax fix the pair-histogram fold decomposition as a
+// function of the vertex count ALONE: proposals are accumulated into
+// per-shard partial histograms over fixed contiguous vertex ranges (one
+// shard per histShardMin vertices, capped at histShardMax to bound the
+// k²-sized accumulators), then merged in ascending shard order. Histogram
+// sums are float folds, so their boundaries must never move with the worker
+// count — workers only decide who computes which shard. The cap and floor
+// are pure performance knobs; any fixed layout yields worker-count-
+// independent bits.
+const (
+	histShardMin = 2048
+	histShardMax = 32
+)
+
+// histShardCount returns the fixed pair-histogram shard count for nd
+// vertices.
+func histShardCount(nd int) int {
+	s := nd / histShardMin
+	if s < 1 {
+		s = 1
+	}
+	if s > histShardMax {
+		s = histShardMax
+	}
+	return s
+}
 
 // pairAcc accumulates per-direction gain histograms in dense
 // generation-stamped slots indexed by from*k+to. reset is O(1); slots are
@@ -809,26 +838,36 @@ func pairKey(from, to int32) uint64 {
 // matchDense aggregates the proposals into per-direction gain histograms and
 // runs the pairing protocol over dense, reused pair slots — no map
 // operations anywhere near the per-vertex loops. Requires k <= densePairK.
+// Accumulation runs over the fixed histogram shards (see histShardCount) and
+// merges them in ascending shard order, so both the histogram float folds
+// and the first-encounter order of the merged pair keys depend only on the
+// vertex count — never on how many workers executed the shards.
 func (st *directState) matchDense() func(from, tgt int32) *ProbTable {
 	nd := st.g.NumData()
 	k := int32(st.k)
-	if st.pairAccs == nil {
-		st.pairAccs = make([]*pairAcc, st.workers)
+	bounds := par.ForShards(nd, histShardCount(nd))
+	shards := len(bounds)
+	if len(st.pairAccs) != shards {
+		st.pairAccs = make([]*pairAcc, shards)
+	}
+	if st.pairMerge == nil {
 		st.pairMerge = newPairAcc(st.k)
 	}
-	par.ForWorker(nd, st.workers, func(w, start, end int) {
-		acc := st.pairAccs[w]
-		if acc == nil {
-			acc = newPairAcc(st.k)
-			st.pairAccs[w] = acc
-		}
-		acc.reset()
-		for v := start; v < end; v++ {
-			tgt := st.target[v]
-			if tgt < 0 {
-				continue
+	par.For(shards, st.workers, func(s, e int) {
+		for sh := s; sh < e; sh++ {
+			acc := st.pairAccs[sh]
+			if acc == nil {
+				acc = newPairAcc(st.k)
+				st.pairAccs[sh] = acc
 			}
-			acc.at(st.bucket[v]*k + tgt).Add(st.gains[v])
+			acc.reset()
+			for v := bounds[sh].Start; v < bounds[sh].End; v++ {
+				tgt := st.target[v]
+				if tgt < 0 {
+					continue
+				}
+				acc.at(st.bucket[v]*k + tgt).Add(st.gains[v])
+			}
 		}
 	})
 	m := st.pairMerge
@@ -885,26 +924,32 @@ func (st *directState) matchDense() func(from, tgt int32) *ProbTable {
 
 // matchSparse is the map-keyed fallback for large k, where k*k index arrays
 // would outgrow the caches. It computes exactly the same histograms and
-// probability tables as matchDense.
+// probability tables as matchDense, over the same fixed shard layout:
+// per-shard partial maps merged in ascending shard order (key-ascending
+// within each shard), so the float folds are worker-count independent here
+// too.
 func (st *directState) matchSparse() func(from, tgt int32) *ProbTable {
 	nd := st.g.NumData()
-	partials := make([]map[uint64]*DirHist, st.workers)
-	par.ForWorker(nd, st.workers, func(w, start, end int) {
-		m := make(map[uint64]*DirHist)
-		for v := start; v < end; v++ {
-			tgt := st.target[v]
-			if tgt < 0 {
-				continue
+	bounds := par.ForShards(nd, histShardCount(nd))
+	partials := make([]map[uint64]*DirHist, len(bounds))
+	par.For(len(bounds), st.workers, func(s, e int) {
+		for sh := s; sh < e; sh++ {
+			m := make(map[uint64]*DirHist)
+			for v := bounds[sh].Start; v < bounds[sh].End; v++ {
+				tgt := st.target[v]
+				if tgt < 0 {
+					continue
+				}
+				key := pairKey(st.bucket[v], tgt)
+				h := m[key]
+				if h == nil {
+					h = &DirHist{}
+					m[key] = h
+				}
+				h.Add(st.gains[v])
 			}
-			key := pairKey(st.bucket[v], tgt)
-			h := m[key]
-			if h == nil {
-				h = &DirHist{}
-				m[key] = h
-			}
-			h.Add(st.gains[v])
+			partials[sh] = m
 		}
-		partials[w] = m
 	})
 	hists := make(map[uint64]*DirHist)
 	for _, m := range partials {

@@ -245,17 +245,28 @@ func (nd *ndState) applyEntryDelta(q, from, to int32) int64 {
 // patch is set, each dirty query's pre-batch segment is snapshotted on first
 // touch and the net per-entry changes are diffed into the per-owner scratch
 // (nd.delta[*].groups/recs) so the refiner can fold them into its members'
-// accumulators. Updates are routed to a per-worker query range, so each
-// query is patched by exactly one goroutine; all patch arithmetic is exact,
-// so results are independent of worker count and of the patch-vs-sweep
-// choice. accepted must contain each vertex at most once (one move batch),
-// with bucket[v] already holding the destination.
+// accumulators. accepted must contain each vertex at most once (one move
+// batch), with bucket[v] already holding the destination.
+//
+// Parallel structure: source workers scan contiguous slices of the batch
+// (ascending, so each owner receives its updates in the batch's canonical
+// mover order) and route every transfer to the query's owner — the
+// par.ForShards(nq, w) chunk holding q — then each owner applies its
+// shard's transfers and diffs its dirty queries with no locking. The owner
+// decomposition moves with the worker count, but that never shows through:
+// count transfers are integers, segment edits are per-query, and every
+// consumer of the per-owner groups either folds exact grid deltas
+// (order-free) or canonicalizes with a radix sort. Worker count decides
+// only who does the work, not what is computed — the contract the whole
+// parallel plane is built on.
 func ndApplyMoveBatch[B bucketID](nd *ndState, g *hypergraph.Bipartite, workers int, accepted []move, bucket []B, patch bool) {
 	nq := g.NumQueries()
 	w := workers
 	if w < 1 {
 		w = 1
 	}
+	// ceil(nq/w) is exactly the par.ForShards chunk width, giving the O(1)
+	// owner lookup below (owner of q = q/chunk).
 	chunk := (nq + w - 1) / w
 	if chunk == 0 {
 		chunk = 1

@@ -106,6 +106,15 @@ type Options struct {
 	// drops below it. Default 0.001.
 	MinMoveFraction float64
 	// Parallelism is the number of worker goroutines; <= 0 means GOMAXPROCS.
+	//
+	// Determinism guarantee: the worker count decides only how fast
+	// refinement runs, never what it computes. Assignments, iteration
+	// histories, and work counters are byte-identical for every Parallelism
+	// value (including 0 on any machine), because every parallel phase
+	// either writes disjoint state, folds exact dyadic-grid values (order
+	// free), or reduces through a decomposition fixed by the problem size
+	// alone — gain-bin shards, pair-histogram shards, par.SumFloat64 —
+	// with per-shard results merged in ascending shard order.
 	Parallelism int
 	// Seed makes runs reproducible. Two runs with equal options and seed
 	// produce identical partitions regardless of parallelism.

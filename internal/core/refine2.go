@@ -80,7 +80,15 @@ type bisection struct {
 	dirtyQ         []int32
 	lastMoved      []int32
 	pgs            []patchGroup
+	pgsReady       bool
 	allActive      bool
+
+	// Owner-sharded parallel patch routing (see applyBatchPatched): route
+	// is the reused [source][owner] transfer buffer, ownerDirty/ownerPGs
+	// the per-owner dirty-query lists and derived patch groups.
+	route      [][][]sideUpdate
+	ownerDirty [][]int32
+	ownerPGs   [][]patchGroup
 
 	// frontier is the sorted list of vertices finishPatch marked active —
 	// exactly the vertices whose (side, gain) can have changed since the
@@ -102,10 +110,14 @@ type bisection struct {
 	// Reusable per-iteration scratch for the probabilistic move protocol:
 	// decided flags plus the (ascending) list of decided vertices, and the
 	// trim pass's arrival buffer. All cleared through the lists they were
-	// filled from, so idle iterations never pay an O(|D|) clear.
+	// filled from, so idle iterations never pay an O(|D|) clear. coinWork
+	// and coinScan are the coin phase's per-bin-shard collection buffers
+	// and scan counters (sized by the shard layout, not the worker count).
 	decided     []bool
 	decidedList []int32
 	arrivalsBuf []int32
+	coinWork    [][]int32
+	coinScan    []int64
 
 	targetW [2]float64
 	capW    [2]float64
@@ -162,7 +174,10 @@ func newBisection(g *hypergraph.Bipartite, opts Options, seed uint64, level, tas
 	nq := g.NumQueries()
 	b.side = make([]int8, nd)
 	b.gains = make([]float64, nd)
-	b.bins = newGainBins(nd)
+	// The histogram protocol shards the bins by fixed vertex ranges so the
+	// sync and coin phases parallelize; the exact pairing needs one global
+	// order and keeps a single shard. Keyed off opts alone, never workers.
+	b.bins = newGainBins(nd, opts.Pairing != PairExact)
 	b.n[0] = make([]int32, nq)
 	b.n[1] = make([]int32, nq)
 	if !opts.DisableIncremental {
@@ -388,21 +403,41 @@ func (b *bisection) computeGains() {
 // syncBins reconciles the maintained gain bins with the current (side,
 // gain) state, after computeGains and before any consumer. Both paths
 // apply the same canonical changed-only update rule in ascending vertex
-// order (see gainbins.go); only how the candidate set is discovered
-// differs — comparison scan over everyone, or the frontier.
+// order within each bin shard (see gainbins.go); only how the candidate
+// set is discovered differs — comparison scan over everyone, or the
+// frontier. Shards are disjoint vertex ranges, so the parallel sweep is
+// lock-free, and the per-shard update sequences are identical for every
+// worker count (workers only decide who processes which shards).
 func (b *bisection) syncBins() {
 	nd := b.g.NumData()
 	if b.active == nil || b.allActive || !b.frontierValid {
-		for v := 0; v < nd; v++ {
-			b.bins.update(int32(v), b.side[v], b.gains[v])
-		}
+		par.For(b.bins.shards, b.workers, func(s, e int) {
+			for sh := s; sh < e; sh++ {
+				lo, hi := b.bins.shardRange(sh)
+				for v := lo; v < hi; v++ {
+					b.bins.update(int32(v), b.side[v], b.gains[v])
+				}
+			}
+		})
 		b.scanWork += int64(nd)
 		return
 	}
-	for _, v := range b.frontier {
-		b.bins.update(v, b.side[v], b.gains[v])
-	}
-	b.scanWork += int64(len(b.frontier))
+	// The frontier is sorted ascending, so each shard's candidates are one
+	// contiguous slice of it, found by binary search.
+	f := b.frontier
+	par.For(b.bins.shards, b.workers, func(s, e int) {
+		for sh := s; sh < e; sh++ {
+			lo, hi := b.bins.shardRange(sh)
+			i := lowerBound(f, int32(lo))
+			for _, v := range f[i:] {
+				if v >= int32(hi) {
+					break
+				}
+				b.bins.update(v, b.side[v], b.gains[v])
+			}
+		}
+	})
+	b.scanWork += int64(len(f))
 }
 
 // objective returns the subproblem's current objective value (sum over
@@ -510,42 +545,66 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 	}
 
 	// Phase 1: per-vertex coin decisions, visiting only populated bins with
-	// positive move probability. The decision per vertex is exactly the old
-	// full scan's (a vertex's bin probability IS its ProbFor), so the
-	// decided set is order independent; sorting restores the canonical
-	// ascending order the apply phase requires.
+	// positive move probability, in parallel over the fixed bin shards. The
+	// decision per vertex is its own deterministic coin against its bin's
+	// probability (a vertex's bin probability IS its ProbFor), so the
+	// decided set is independent of visit order and of the worker count;
+	// the per-shard buffers are concatenated in ascending shard order and
+	// radix-sorted back into the canonical ascending order the apply phase
+	// requires. decided[v] writes stay within v's shard, so the sweep is
+	// lock-free.
 	if b.decided == nil {
 		b.decided = make([]bool, nd)
 	}
 	decided := b.decided
-	list := b.decidedList[:0]
+	if len(b.coinWork) != b.bins.shards {
+		b.coinWork = make([][]int32, b.bins.shards)
+		b.coinScan = make([]int64, b.bins.shards)
+	}
 	iterKey := rng.Mix(uint64(iter)+1, 0xC01)
-	for side := 0; side < 2; side++ {
-		base := side * 2 * histBins
-		pt := &probs[side]
-		for sign := 0; sign < 2; sign++ {
-			for bin := 0; bin < histBins; bin++ {
-				var p float64
-				if sign == 0 {
-					p = pt.pos[bin]
-				} else {
-					p = pt.neg[bin]
-				}
-				if p <= 0 {
-					continue
-				}
-				vs := b.bins.list[base+sign*histBins+bin]
-				b.scanWork += int64(len(vs))
-				for _, v := range vs {
-					if p >= 1 || rng.CoinAt(b.seed, rng.Mix(iterKey, uint64(v))) < p {
-						decided[v] = true
-						list = append(list, v)
+	par.For(b.bins.shards, b.workers, func(s, e int) {
+		for sh := s; sh < e; sh++ {
+			buf := b.coinWork[sh][:0]
+			var scan int64
+			shBase := sh * binSlots
+			for side := 0; side < 2; side++ {
+				base := shBase + side*2*histBins
+				pt := &probs[side]
+				for sign := 0; sign < 2; sign++ {
+					for bin := 0; bin < histBins; bin++ {
+						var p float64
+						if sign == 0 {
+							p = pt.pos[bin]
+						} else {
+							p = pt.neg[bin]
+						}
+						if p <= 0 {
+							continue
+						}
+						vs := b.bins.list[base+sign*histBins+bin]
+						scan += int64(len(vs))
+						for _, v := range vs {
+							if p >= 1 || rng.CoinAt(b.seed, rng.Mix(iterKey, uint64(v))) < p {
+								decided[v] = true
+								buf = append(buf, v)
+							}
+						}
 					}
 				}
 			}
+			b.coinWork[sh] = buf
+			b.coinScan[sh] = scan
 		}
+	})
+	list := b.decidedList[:0]
+	for sh := 0; sh < b.bins.shards; sh++ {
+		list = append(list, b.coinWork[sh]...)
+		b.scanWork += b.coinScan[sh]
 	}
-	slices.Sort(list)
+	if cap(b.frontScratch) < len(list) {
+		b.frontScratch = make([]int32, len(list))
+	}
+	radixSortInt32(list, b.frontScratch[:cap(b.frontScratch)], int32(nd))
 	b.decidedList = list
 	// Phase 2 (serial, deterministic): apply all decided moves, then undo
 	// the lowest-gain arrivals of any side that breached its cap. Applying
@@ -611,14 +670,13 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 		decided[v] = false
 	}
 	// Phase 3: neighbor-count updates for surviving moves. Small batches on
-	// the incremental path go through the serial patch collector (counts,
-	// net deltas, dirty queries, member patches — O(churn·deg)); everything
-	// else takes the parallel atomic path, with a full rebuild sweep
-	// scheduled when the engine is on.
+	// the incremental path go through the patch collector (counts, net
+	// deltas, dirty queries, member patches — O(churn·deg), owner-sharded
+	// in parallel past a size gate); everything else takes the parallel
+	// atomic path, with a full rebuild sweep scheduled when the engine is
+	// on.
 	if b.active != nil && len(accepted)*sweepFallbackDiv < nd {
-		for _, v := range accepted {
-			b.applyMovePatched(v)
-		}
+		b.applyBatchPatched(accepted)
 		b.finishPatch(accepted)
 		return int64(len(accepted))
 	}
@@ -644,9 +702,9 @@ func (b *bisection) applyProbabilistic(iter int) int64 {
 
 // applyMovePatched folds one already-flipped mover's count transfers into
 // the maintained side counts while accumulating the batch's net per-query
-// deltas and the dirty-query list the diff will read. Serial by design:
-// patch batches are churn-sized, and first-touch order fixes the dirty
-// list deterministically.
+// deltas and the dirty-query list the diff will read. This is the serial
+// collector; churn-sized batches route through it directly, and first-touch
+// order fixes the dirty list deterministically.
 func (b *bisection) applyMovePatched(v int32) {
 	oth := b.side[v] // already flipped
 	cur := 1 - oth
@@ -660,6 +718,103 @@ func (b *bisection) applyMovePatched(v int32) {
 			b.dirtyQ = append(b.dirtyQ, q)
 		}
 	}
+}
+
+// sideUpdate routes one mover's ±1 count transfer to its query's owner in
+// the parallel patch collector.
+type sideUpdate struct {
+	q  int32
+	to int8
+}
+
+// parallelPatchMin gates the owner-sharded parallel patch collector:
+// batches below it take the serial collector, whose per-mover loop beats
+// the routing overhead at churn scale. The branches produce identical
+// results — count transfers are integer, the derived patch groups are the
+// same set, and every downstream order is canonicalized — so the gate (and
+// the worker count that feeds it) is a pure performance knob.
+const parallelPatchMin = 256
+
+// applyBatchPatched folds a whole accepted batch into the maintained side
+// counts and derives the per-dirty-query patch groups. Large batches shard
+// the work by query owner, mirroring the kernel's ndApplyMoveBatch: source
+// workers route each mover's transfers to the owning query range, then each
+// owner applies its shard's transfers and derives its dirty queries' groups
+// without locking (a query belongs to exactly one owner). Per-owner group
+// lists are concatenated in ascending owner order; group order is
+// immaterial to results (exact patch arithmetic, radix-sorted frontier), so
+// worker count never shows through.
+func (b *bisection) applyBatchPatched(accepted []int32) {
+	if b.workers == 1 || len(accepted) < parallelPatchMin {
+		for _, v := range accepted {
+			b.applyMovePatched(v)
+		}
+		return
+	}
+	nq := b.g.NumQueries()
+	w := b.workers
+	chunk := (nq + w - 1) / w
+	if chunk == 0 {
+		chunk = 1
+	}
+	if b.route == nil {
+		b.route = make([][][]sideUpdate, w)
+		b.ownerDirty = make([][]int32, w)
+		b.ownerPGs = make([][]patchGroup, w)
+	}
+	route := b.route
+	for sw := range route {
+		for dw := range route[sw] {
+			route[sw][dw] = route[sw][dw][:0]
+		}
+	}
+	par.ForWorker(len(accepted), w, func(sw, start, end int) {
+		o := route[sw]
+		if o == nil {
+			o = make([][]sideUpdate, w)
+			route[sw] = o
+		}
+		for i := start; i < end; i++ {
+			v := accepted[i]
+			to := b.side[v] // already flipped
+			for _, q := range b.g.DataNeighbors(v) {
+				dw := int(q) / chunk
+				o[dw] = append(o[dw], sideUpdate{q: q, to: to})
+			}
+		}
+	})
+	par.Each(w, func(dw int) {
+		dirty := b.ownerDirty[dw][:0]
+		for sw := 0; sw < w; sw++ {
+			if route[sw] == nil {
+				continue
+			}
+			for _, u := range route[sw][dw] {
+				from := 1 - u.to
+				b.n[from][u.q]--
+				b.n[u.to][u.q]++
+				b.d[from][u.q]--
+				b.d[u.to][u.q]++
+				if b.dirtyFlag[u.q] == 0 {
+					b.dirtyFlag[u.q] = 1
+					dirty = append(dirty, u.q)
+				}
+			}
+		}
+		pgs := b.ownerPGs[dw][:0]
+		for _, q := range dirty {
+			if pg, ok := b.derivePatchGroup(q); ok {
+				pgs = append(pgs, pg)
+			}
+		}
+		b.ownerDirty[dw] = dirty
+		b.ownerPGs[dw] = pgs
+	})
+	b.pgs = b.pgs[:0]
+	for dw := 0; dw < w; dw++ {
+		b.pgs = append(b.pgs, b.ownerPGs[dw]...)
+	}
+	b.pgsReady = true
 }
 
 // patchGroup is one dirty query's precomputed accumulator adjustments: a
@@ -676,38 +831,50 @@ type patchGroup struct {
 	nrec      int64 // changed sides, for the gainWork accounting
 }
 
-// finishPatch closes a patched move batch: each dirty query's canonical
-// (side, cOld, cNew) changes are derived from its net count deltas (cOld =
-// cNew − net, exactly what a pre-batch snapshot would have diffed out) and
-// folded into the clean members' accumulators in parallel over disjoint
+// derivePatchGroup turns one dirty query's net count deltas into its patch
+// group (cOld = cNew − net, exactly what a pre-batch snapshot would have
+// diffed out), resetting the query's delta and dirty-flag state. ok is
+// false when the deltas net to zero (opposing flips cancelled). Callers
+// owning disjoint query shards may run concurrently.
+func (b *bisection) derivePatchGroup(q int32) (patchGroup, bool) {
+	pg := patchGroup{q: q}
+	wq := 1.0
+	if b.qw != nil {
+		wq = b.qw[q]
+	}
+	for s := int32(0); s < 2; s++ {
+		if dd := b.d[s][q]; dd != 0 {
+			cNew := b.n[s][q]
+			cOld := cNew - dd
+			pg.own[s] = wq * b.tables[s].DeltaOwn(cOld, cNew)
+			pg.away[s] = wq * b.tables[s].DeltaAway(cOld, cNew)
+			pg.nrec++
+			b.d[s][q] = 0
+		}
+	}
+	b.dirtyFlag[q] = 0
+	return pg, pg.nrec > 0
+}
+
+// finishPatch closes a patched move batch: each dirty query's patch group
+// is folded into the clean members' accumulators in parallel over disjoint
 // vertex ranges — exact arithmetic makes the patch order (and the range
 // partition) irrelevant to the result. Movers are scheduled for a rebuild:
 // their own side changed, so the cached accumulators (and any patches
-// applied to them above) refer to the wrong frame.
+// applied to them above) refer to the wrong frame. Groups are derived here
+// from the serial collector's dirty list unless the parallel collector
+// already derived them in its owner pass (pgsReady).
 func (b *bisection) finishPatch(movers []int32) {
-	b.pgs = b.pgs[:0]
-	for _, q := range b.dirtyQ {
-		pg := patchGroup{q: q}
-		wq := 1.0
-		if b.qw != nil {
-			wq = b.qw[q]
-		}
-		for s := int32(0); s < 2; s++ {
-			if dd := b.d[s][q]; dd != 0 {
-				cNew := b.n[s][q]
-				cOld := cNew - dd
-				pg.own[s] = wq * b.tables[s].DeltaOwn(cOld, cNew)
-				pg.away[s] = wq * b.tables[s].DeltaAway(cOld, cNew)
-				pg.nrec++
-				b.d[s][q] = 0
+	if !b.pgsReady {
+		b.pgs = b.pgs[:0]
+		for _, q := range b.dirtyQ {
+			if pg, ok := b.derivePatchGroup(q); ok {
+				b.pgs = append(b.pgs, pg)
 			}
 		}
-		b.dirtyFlag[q] = 0
-		if pg.nrec > 0 {
-			b.pgs = append(b.pgs, pg)
-		}
+		b.dirtyQ = b.dirtyQ[:0]
 	}
-	b.dirtyQ = b.dirtyQ[:0]
+	b.pgsReady = false
 
 	// Clear the previous batch's marks through the frontier they form (the
 	// marked set IS the frontier while frontierValid); a full clear is only
@@ -790,6 +957,7 @@ func (b *bisection) finishPatch(movers []int32) {
 // fallback of the exact pairing, whose batch size is only known at the
 // end) and schedules the full rebuild sweep instead.
 func (b *bisection) discardPatch() {
+	b.pgsReady = false
 	for _, q := range b.dirtyQ {
 		b.d[0][q], b.d[1][q] = 0, 0
 		b.dirtyFlag[q] = 0

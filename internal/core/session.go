@@ -299,6 +299,11 @@ func (s *Session) syncEngine() {
 			st.active = append(st.active, make([]uint8, grow)...)
 		}
 		st.decided = nil // sized per batch; forces reallocation at new |D|
+		// The pair-histogram shard scratch needs no reset here: matchDense
+		// re-derives the fixed shard layout from |D| every call and resizes
+		// (discarding stale accumulators) when the epoch's growth changed
+		// histShardCount — keeping the fold decomposition, and with it the
+		// worker-count-independence contract, intact across epochs.
 	}
 
 	// Balance targets track the (possibly changed) total weight; bucket

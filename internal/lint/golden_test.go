@@ -25,6 +25,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"maprange", mapRangeAnalyzer},
 		{"nondet", nondetAnalyzer},
+		{"nondetpar", nondetAnalyzer},
 		{"floatdisc", floatDisciplineAnalyzer},
 		{"codecsym", codecSymmetryAnalyzer},
 		{"panicpolicy", panicPolicyAnalyzer},

@@ -40,17 +40,19 @@ import (
 
 // deterministicPackages names the packages whose code must be reproducible
 // bit-for-bit given a seed: the refinement kernel, both execution planes,
-// the graph structure they mutate, the RNG they draw from, the sharding
-// simulator (replays must be comparable across runs), and the serving plane
-// (epoch contents are pinned by seed; only wall-clock telemetry may vary,
-// behind //shp:nondet annotations). Matching is by package name so the
-// golden testdata packages can opt in by name alone.
+// the graph structure they mutate, the RNG they draw from, the parallel
+// executor (its shard decompositions are part of the bit-identity contract),
+// the sharding simulator (replays must be comparable across runs), and the
+// serving plane (epoch contents are pinned by seed; only wall-clock
+// telemetry may vary, behind //shp:nondet annotations). Matching is by
+// package name so the golden testdata packages can opt in by name alone.
 var deterministicPackages = map[string]bool{
 	"core":       true,
 	"distshp":    true,
 	"pregel":     true,
 	"hypergraph": true,
 	"rng":        true,
+	"par":        true,
 	"sharding":   true,
 	"serve":      true,
 }

@@ -1,7 +1,7 @@
 package lint
 
 // nondet-sources: reads of nondeterministic sources in deterministic
-// packages. Three classes:
+// packages. Four classes:
 //
 //   - the global math/rand source (rand.Intn, rand.Float64, ...): shared
 //     state seeded from runtime entropy. Seeded generators — rand.New over
@@ -12,6 +12,11 @@ package lint
 //   - select over two or more channels: when several cases are ready the
 //     runtime picks uniformly at random, so multi-channel selects order
 //     events nondeterministically.
+//   - runtime.GOMAXPROCS reads outside par.Workers: the worker count varies
+//     by machine, and any decomposition derived from it directly would make
+//     results machine-dependent. par.Workers is the single sanctioned read —
+//     it only resolves Parallelism <= 0, and every consumer downstream is
+//     held to the worker-count-independence discipline.
 
 import (
 	"fmt"
@@ -48,6 +53,25 @@ func runNondet(pkg *Package) []Diagnostic {
 		})
 	}
 	for _, f := range pkg.Files {
+		// par.Workers is the one sanctioned runtime.GOMAXPROCS read; record
+		// its extent so calls inside it are exempt. Keyed by package name so
+		// the golden testdata can opt in, like the deterministic gate itself.
+		var workersDecls []*ast.FuncDecl
+		if pkg.Name == "par" {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "Workers" {
+					workersDecls = append(workersDecls, fd)
+				}
+			}
+		}
+		insideWorkers := func(n ast.Node) bool {
+			for _, fd := range workersDecls {
+				if n.Pos() >= fd.Pos() && n.End() <= fd.End() {
+					return true
+				}
+			}
+			return false
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -63,6 +87,10 @@ func runNondet(pkg *Package) []Diagnostic {
 				case "time":
 					if wallClockFuncs[fn.Name()] {
 						report(n, "wall-clock read (time.%s) in a deterministic package", fn.Name())
+					}
+				case "runtime":
+					if fn.Name() == "GOMAXPROCS" && !insideWorkers(n) {
+						report(n, "runtime.GOMAXPROCS read outside par.Workers: resolve worker counts through par.Workers so decompositions stay machine-independent")
 					}
 				}
 			case *ast.SelectStmt:

@@ -4,6 +4,7 @@ package pregel
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -30,6 +31,13 @@ func elapsed(f func()) time.Duration {
 	start := time.Now() //shp:nondet(golden: timing stats only, never feeds results)
 	f()
 	return time.Since(start) //shp:nondet(golden: timing stats only, never feeds results)
+}
+
+// width sizes a decomposition straight off the machine's core count
+// outside par.Workers: flagged.
+func width(n int) int {
+	w := runtime.GOMAXPROCS(0) // want "runtime.GOMAXPROCS read outside par.Workers"
+	return (n + w - 1) / w
 }
 
 // pick races two channels: the runtime chooses a ready case at random.

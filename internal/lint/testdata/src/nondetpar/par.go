@@ -1,0 +1,22 @@
+// Golden input for the nondet-sources analyzer's GOMAXPROCS rule. The
+// package is named par so the Workers exemption applies by name, exactly as
+// it does to the real internal/par.
+package par
+
+import "runtime"
+
+// Workers mirrors the real par.Workers: the single sanctioned GOMAXPROCS
+// read. Not flagged.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardWidth reads the core count outside Workers — even in package par
+// itself, only Workers may resolve the machine width: flagged.
+func shardWidth(n int) int {
+	w := runtime.GOMAXPROCS(0) // want "runtime.GOMAXPROCS read outside par.Workers"
+	return (n + w - 1) / w
+}

@@ -5,6 +5,13 @@
 // range into contiguous chunks, one batch per worker, so that per-worker
 // scratch buffers (the k-sized counting arrays from Section 3.3 of the paper)
 // can be reused without locking.
+//
+// Determinism contract: the worker count decides only how fast things run,
+// never what is computed. The chunk decomposition for a given (n, workers)
+// is a pure function (ForShards), integer reductions are exact in any fold
+// order, and the float64 reduction fixes its fold decomposition by n alone —
+// so a kernel built from these helpers returns the same bits for every
+// worker count as long as its own per-chunk work is order independent.
 package par
 
 import (
@@ -13,6 +20,9 @@ import (
 )
 
 // Workers normalizes a requested parallelism: values <= 0 mean GOMAXPROCS.
+// This is the one place the repo is allowed to read GOMAXPROCS (enforced by
+// the shplint nondet-sources analyzer): everywhere else the machine's core
+// count must be invisible to what is computed.
 func Workers(requested int) int {
 	if requested <= 0 {
 		return runtime.GOMAXPROCS(0)
@@ -20,40 +30,43 @@ func Workers(requested int) int {
 	return requested
 }
 
-// For runs fn(start, end) over disjoint contiguous chunks covering [0, n),
-// using the given number of workers. fn is called at most `workers` times
-// concurrently and each call receives a half-open range. Chunks are assigned
-// statically, so the decomposition is deterministic for a given (n, workers).
-func For(n, workers int, fn func(start, end int)) {
+// Shard is one contiguous half-open chunk of an index range.
+type Shard struct {
+	Start, End int
+}
+
+// ForShards returns the static chunk decomposition For and ForWorker use for
+// (n, workers): at most `workers` disjoint contiguous ranges, ascending,
+// covering [0, n) exactly (empty for n <= 0). Kernels use it to precompute
+// per-worker scratch, or to fix a reduction's fold boundaries up front.
+// workers <= 0 means GOMAXPROCS, like everywhere else in this package.
+func ForShards(n, workers int) []Shard {
 	workers = Workers(workers)
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
-		}
+	shards := make([]Shard, 0, workers)
+	for start := 0; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+		shards = append(shards, Shard{Start: start, End: end})
 	}
-	wg.Wait()
+	return shards
+}
+
+// For runs fn(start, end) over disjoint contiguous chunks covering [0, n),
+// using the given number of workers. fn is called at most `workers` times
+// concurrently and each call receives a half-open range. Chunks are assigned
+// statically (see ForShards), so the decomposition is deterministic for a
+// given (n, workers).
+func For(n, workers int, fn func(start, end int)) {
+	ForWorker(n, workers, func(_, start, end int) { fn(start, end) })
 }
 
 // Each runs fn(i) once for every i in [0, n) with one goroutine per index
@@ -68,52 +81,39 @@ func Each(n int, fn func(i int)) {
 	})
 }
 
-// ForWorker is like For but also passes the worker index, so callers can
-// index into pre-allocated per-worker scratch state.
+// ForWorker is like For but also passes the worker index (dense in
+// [0, len(ForShards(n, workers)))), so callers can index into pre-allocated
+// per-worker scratch state. A single-chunk decomposition runs inline on the
+// calling goroutine.
 func ForWorker(n, workers int, fn func(worker, start, end int)) {
-	workers = Workers(workers)
-	if n <= 0 {
+	shards := ForShards(n, workers)
+	if len(shards) == 0 {
 		return
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		fn(0, 0, n)
+	if len(shards) == 1 {
+		fn(0, shards[0].Start, shards[0].End)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	idx := 0
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
-		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
+	wg.Add(len(shards))
+	for w, sh := range shards {
 		go func(id, s, e int) {
 			defer wg.Done()
 			fn(id, s, e)
-		}(idx, start, end)
-		idx++
+		}(w, sh.Start, sh.End)
 	}
 	wg.Wait()
 }
 
 // SumInt64 runs a parallel reduction: fn maps each chunk to a partial sum.
+// Integer addition is exact, so the result is independent of the worker
+// count (and of any fold order) by construction.
 func SumInt64(n, workers int, fn func(start, end int) int64) int64 {
-	workers = Workers(workers)
 	if n <= 0 {
 		return 0
 	}
-	if workers > n {
-		workers = n
-	}
-	partials := make([]int64, workers)
+	shards := ForShards(n, workers)
+	partials := make([]int64, len(shards))
 	ForWorker(n, workers, func(w, s, e int) {
 		partials[w] = fn(s, e)
 	})
@@ -124,20 +124,35 @@ func SumInt64(n, workers int, fn func(start, end int) int64) int64 {
 	return total
 }
 
-// SumFloat64 runs a parallel float64 reduction over chunks. The chunking (and
-// therefore the floating-point summation order) is deterministic for a given
-// (n, workers) pair.
+// sumShardSize fixes the decomposition of parallel float64 reductions
+// independently of the worker count: partials are computed per fixed-size
+// index shard and folded in ascending shard order, so the summation order —
+// and with it the result, bit for bit — is a function of n alone. 8192
+// indices per partial keeps the per-shard call overhead invisible next to
+// the summand work while still exposing enough shards to scale.
+const sumShardSize = 8192
+
+// SumFloat64 runs a parallel float64 reduction over chunks. Unlike the
+// integer fold, float64 addition is not associative once sums leave the
+// dyadic grid's exact range, so the fold boundaries must not move with the
+// worker count: fn is invoked once per fixed-size shard (see sumShardSize)
+// and the partials are folded in ascending shard order. The result depends
+// only on n and fn, never on workers.
 func SumFloat64(n, workers int, fn func(start, end int) float64) float64 {
-	workers = Workers(workers)
 	if n <= 0 {
 		return 0
 	}
-	if workers > n {
-		workers = n
-	}
-	partials := make([]float64, workers)
-	ForWorker(n, workers, func(w, s, e int) {
-		partials[w] = fn(s, e)
+	shards := (n + sumShardSize - 1) / sumShardSize
+	partials := make([]float64, shards)
+	For(shards, workers, func(s, e int) {
+		for i := s; i < e; i++ {
+			lo := i * sumShardSize
+			hi := lo + sumShardSize
+			if hi > n {
+				hi = n
+			}
+			partials[i] = fn(lo, hi)
+		}
 	})
 	total := 0.0
 	for _, p := range partials {

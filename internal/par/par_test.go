@@ -114,6 +114,88 @@ func TestSumFloat64CloseToSerial(t *testing.T) {
 	}
 }
 
+// TestForShardsProperties checks the decomposition invariants over the edge
+// cases the kernels rely on: n == 0, n < workers, n == workers, and the
+// chunk-boundary off-by-ones around multiples of the chunk size.
+func TestForShardsProperties(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{0, 4}, {-1, 4}, {1, 1}, {1, 8}, {3, 8}, {7, 8}, {8, 8}, {9, 8},
+		{15, 4}, {16, 4}, {17, 4}, {31, 4}, {32, 4}, {33, 4}, {1000, 7},
+	}
+	for _, tc := range cases {
+		shards := ForShards(tc.n, tc.workers)
+		if tc.n <= 0 {
+			if len(shards) != 0 {
+				t.Fatalf("n=%d workers=%d: want no shards, got %v", tc.n, tc.workers, shards)
+			}
+			continue
+		}
+		if len(shards) > tc.workers {
+			t.Fatalf("n=%d workers=%d: %d shards exceeds worker count", tc.n, tc.workers, len(shards))
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Start != next || sh.End <= sh.Start {
+				t.Fatalf("n=%d workers=%d: shard %d = %+v not contiguous ascending from %d",
+					tc.n, tc.workers, i, sh, next)
+			}
+			next = sh.End
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: shards cover [0,%d), want [0,%d)", tc.n, tc.workers, next, tc.n)
+		}
+	}
+}
+
+// TestForShardsMatchesForWorker pins that ForShards returns exactly the
+// chunks ForWorker hands out, worker id for worker id, for arbitrary
+// (n, workers) — the property kernels assume when they size per-worker
+// scratch from ForShards before running the loop.
+func TestForShardsMatchesForWorker(t *testing.T) {
+	if err := quick.Check(func(nRaw uint16, workersRaw uint8) bool {
+		n := int(nRaw % 3000)
+		workers := int(workersRaw%16) + 1
+		want := ForShards(n, workers)
+		got := make([]Shard, len(want))
+		var mu sync.Mutex
+		ForWorker(n, workers, func(w, s, e int) {
+			mu.Lock()
+			got[w] = Shard{Start: s, End: e}
+			mu.Unlock()
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumFloat64WorkerCountIndependent pins the tentpole contract: the float
+// fold decomposition is a function of n alone, so every worker count returns
+// the same bits — including on summands that are NOT exactly representable,
+// where fold order genuinely matters.
+func TestSumFloat64WorkerCountIndependent(t *testing.T) {
+	f := func(s, e int) float64 {
+		sum := 0.0
+		for i := s; i < e; i++ {
+			sum += 1.0 / float64(i+1)
+		}
+		return sum
+	}
+	for _, n := range []int{1, 100, sumShardSize - 1, sumShardSize, sumShardSize + 1, 100000} {
+		base := SumFloat64(n, 1, f)
+		for _, workers := range []int{2, 3, 8, 16} {
+			if got := SumFloat64(n, workers, f); got != base {
+				t.Fatalf("n=%d: SumFloat64 with %d workers = %v, serial = %v", n, workers, got, base)
+			}
+		}
+	}
+}
+
 func BenchmarkForOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		For(1024, 4, func(s, e int) {})

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -206,6 +207,12 @@ func TestConcurrentLookupsAcrossSwaps(t *testing.T) {
 			close(stop)
 			wg.Wait()
 			t.Fatal(err)
+		}
+		// On a loaded single-core machine the churn loop can finish before
+		// any reader goroutine is ever scheduled, so the hammer would stop
+		// having hammered nothing. Yield until lookups flow between epochs.
+		for s.Stats().Lookups == 0 {
+			runtime.Gosched()
 		}
 	}
 	close(stop)
